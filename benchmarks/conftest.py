@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+The offline artefacts (training dataset, trained mixture of experts, the
+scheduler suite built on top of them) are expensive enough that they are
+constructed once per benchmark session, mirroring the paper's one-off
+offline training cost.
+"""
+
+import pytest
+
+from repro.core.moe import MixtureOfExperts
+from repro.core.training import collect_training_data
+from repro.experiments.common import SchedulerSuite
+
+
+def pytest_configure(config):
+    # The benchmark harness lives outside the default testpaths; make sure
+    # running `pytest benchmarks/` does not accidentally pick up tests/.
+    config.addinivalue_line("markers",
+                            "figure: marks a benchmark that regenerates a paper figure")
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The offline training dataset (16 HiBench/BigDataBench programs)."""
+    return collect_training_data()
+
+
+@pytest.fixture(scope="session")
+def moe(dataset):
+    """The trained mixture-of-experts predictor."""
+    return MixtureOfExperts.from_dataset(dataset)
+
+
+@pytest.fixture(scope="session")
+def suite(dataset, moe):
+    """Scheduler factories sharing the trained predictor."""
+    return SchedulerSuite(dataset=dataset, moe=moe)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,24 @@
+"""Figure 10 — online (gradient-descent) search vs the mixture of experts."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_online_search
+
+SCENARIOS = ("L3", "L5", "L8")
+
+
+@pytest.mark.figure
+def test_bench_fig10_online_search(benchmark, suite):
+    results = run_once(benchmark, fig10_online_search.run, scenarios=SCENARIOS,
+                       n_mixes=2, seed=11, suite=suite)
+    print("\n" + fig10_online_search.format_table(results))
+
+    advantage = fig10_online_search.stp_advantage(results)
+    # Section 6.5: the prediction-based approach is a clear multiple better
+    # than online search (the paper reports 2.4x on STP).
+    assert advantage > 1.5
+    # Online search still beats nothing-at-all: its STP stays positive and
+    # grows with the scenario size.
+    online = [r.stp_geomean for r in results if r.scheme == "online_search"]
+    assert online[-1] > online[0]

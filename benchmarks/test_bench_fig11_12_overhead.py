@@ -1,0 +1,29 @@
+"""Figures 11 and 12 — profiling overhead relative to total execution time."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_12_overhead
+
+
+@pytest.mark.figure
+def test_bench_fig11_12_profiling_overhead(benchmark, suite):
+    def _run():
+        per_scenario = fig11_12_overhead.run_per_scenario(
+            scenarios=("L1", "L5", "L8"), n_mixes=1, suite=suite)
+        per_benchmark = fig11_12_overhead.run_per_benchmark()
+        return per_scenario, per_benchmark
+
+    per_scenario, per_benchmark = run_once(benchmark, _run)
+    print("\n" + fig11_12_overhead.format_table(per_scenario, per_benchmark))
+
+    # Section 6.6: feature extraction plus calibration stay a modest
+    # fraction of the total execution time (the paper reports ~13 %).
+    for row in per_benchmark:
+        assert row.overhead_fraction < 0.35
+    assert sum(r.overhead_fraction for r in per_benchmark) / len(per_benchmark) < 0.2
+    # Overhead never dominates a scheduling scenario either.
+    for row in per_scenario:
+        assert row.overhead_fraction < 0.5
+        assert row.feature_extraction_min > 0
+        assert row.calibration_min > 0

@@ -1,0 +1,19 @@
+"""Figure 13 — CPU load distribution of the benchmarks in isolation."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_cpu_load
+
+
+@pytest.mark.figure
+def test_bench_fig13_cpu_load_distribution(benchmark):
+    histogram = run_once(benchmark, fig13_cpu_load.run)
+    print("\n" + fig13_cpu_load.format_table(histogram))
+
+    # Section 6.7: the CPU load of most benchmarks is under 40 %, which is
+    # what creates the co-location opportunity.
+    assert histogram.fraction_below_40_percent >= 0.6
+    # Every benchmark stays below the 60 % bin, as in Figure 13.
+    assert sum(histogram.counts) == 44
+    assert max(histogram.loads_percent.values()) <= 60.0

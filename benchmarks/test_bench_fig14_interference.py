@@ -1,0 +1,25 @@
+"""Figure 14 — slowdown of Spark benchmarks under our co-location scheme."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig14_interference
+from repro.workloads.suites import TRAINING_BENCHMARKS
+
+
+@pytest.mark.figure
+def test_bench_fig14_spark_interference(benchmark, suite):
+    distributions = run_once(
+        benchmark, fig14_interference.run,
+        targets=[spec.name for spec in TRAINING_BENCHMARKS[:8]],
+        co_runners_per_target=5, input_gb=25.0, suite=suite,
+    )
+    print("\n" + fig14_interference.format_table(distributions))
+
+    all_slowdowns = np.concatenate([d.slowdowns_percent for d in distributions])
+    # Section 6.8: co-location under the scheme slows the target by less
+    # than ~25 %, under 10 % on average.
+    assert np.mean(all_slowdowns) < 15.0
+    assert np.percentile(all_slowdowns, 95) < 40.0
+    assert np.all(all_slowdowns >= 0.0)

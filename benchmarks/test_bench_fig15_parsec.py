@@ -1,0 +1,27 @@
+"""Figure 15 — slowdown of PARSEC benchmarks co-located with Spark tasks."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig15_parsec
+
+
+@pytest.mark.figure
+def test_bench_fig15_parsec_interference(benchmark):
+    results = run_once(benchmark, fig15_parsec.run)
+    print("\n" + fig15_parsec.format_table(results))
+
+    all_slowdowns = np.concatenate([r.slowdowns_percent for r in results])
+    # Section 6.8: the slowdown of the computation-intensive PARSEC
+    # programs stays modest — below ~30 %, mostly below 20 %.
+    assert all_slowdowns.max() <= 32.0
+    assert np.mean(all_slowdowns < 20.0) >= 0.7
+    # Twelve PARSEC benchmarks, each paired with all 44 Spark benchmarks.
+    assert len(results) == 12
+    assert all(len(r.slowdowns_percent) == 44 for r in results)
+    # Cache-sensitive codes (canneal, streamcluster) suffer more than
+    # cache-friendly ones (swaptions, blackscholes).
+    by_name = {r.parsec: np.median(r.slowdowns_percent) for r in results}
+    assert by_name["Canneal"] > by_name["Swaptions"]
+    assert by_name["Streamcluster"] > by_name["Blackscholes"]

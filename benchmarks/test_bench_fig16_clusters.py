@@ -1,0 +1,24 @@
+"""Figure 16 — program clusters in the 2-D PCA feature space."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig16_clusters
+
+
+@pytest.mark.figure
+def test_bench_fig16_feature_space_clusters(benchmark, moe):
+    analysis = run_once(benchmark, fig16_clusters.run, moe=moe)
+    print("\n" + fig16_clusters.format_table(analysis))
+
+    families = set(analysis.families.values())
+    # Section 6.9: the 44 benchmarks form three clusters, one per memory
+    # function of Table 1.
+    assert families == {"power_law", "exponential", "napierian_log"}
+    assert len(analysis.coordinates) == 44
+    # Clusters are well separated: the closest pair of cluster centres is
+    # farther apart than the typical spread within a cluster.
+    assert analysis.separation_ratio() > 1.0
+    # Benchmarks known to share an algorithm land in the same cluster.
+    assert analysis.families["HB.PageRank"] == analysis.families["BDB.PageRank"]
+    assert analysis.families["HB.Kmeans"] == analysis.families["SP.Kmeans"]

@@ -1,0 +1,20 @@
+"""Figure 17 — predicted vs measured memory footprints (leave-one-out)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig17_accuracy
+
+
+@pytest.mark.figure
+def test_bench_fig17_prediction_accuracy(benchmark, moe):
+    rows = run_once(benchmark, fig17_accuracy.run, moe=moe)
+    print("\n" + fig17_accuracy.format_table(rows))
+
+    mean_error = fig17_accuracy.mean_absolute_error_percent(rows)
+    # Section 6.9: the average prediction error is about 5 %, and even the
+    # worst benchmarks stay within ~12 %.
+    assert mean_error <= 7.0
+    assert max(abs(row.error_percent) for row in rows) <= 15.0
+    # All 16 training-suite benchmarks are evaluated.
+    assert len(rows) == 16

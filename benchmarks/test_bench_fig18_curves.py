@@ -1,0 +1,24 @@
+"""Figure 18 — predicted vs measured memory curves for the training programs."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig18_curves
+
+
+@pytest.mark.figure
+def test_bench_fig18_memory_curves(benchmark, moe):
+    curves = run_once(benchmark, fig18_curves.run, moe=moe)
+    print("\n" + fig18_curves.format_table(curves))
+
+    # One panel per HiBench/BigDataBench benchmark.
+    assert len(curves) == 16
+    # The calibrated memory functions track the measured curves closely
+    # (the paper's panels overlap almost everywhere).
+    errors = [curve.mean_relative_error_percent for curve in curves]
+    assert max(errors) < 20.0
+    assert sum(errors) / len(errors) < 8.0
+    # All three families appear across the panels, as in Figure 18.
+    assert {curve.family for curve in curves} == {
+        "power_law", "exponential", "napierian_log"
+    }

@@ -1,0 +1,22 @@
+"""Figure 3 — observed vs predicted footprints for Sort and PageRank."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_memory_curves
+
+
+@pytest.mark.figure
+def test_bench_fig3_sort_and_pagerank(benchmark, moe):
+    curves = run_once(benchmark, fig3_memory_curves.run, moe=moe)
+    print("\n" + fig3_memory_curves.format_table(curves))
+
+    by_name = {curve.benchmark: curve for curve in curves}
+    # The paper models Sort with the exponential family and PageRank with
+    # the Napierian-log family (Figure 3 captions).
+    assert by_name["HB.Sort"].family == "exponential"
+    assert by_name["HB.PageRank"].family == "napierian_log"
+    # The predicted curves track the observations closely over the bulk of
+    # the range (the paper's curves are visually indistinguishable).
+    for curve in curves:
+        assert curve.max_relative_error() < 0.30

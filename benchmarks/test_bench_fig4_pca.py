@@ -1,0 +1,22 @@
+"""Figure 4 / Table 2 — PCA variance breakdown and raw-feature importance."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_pca
+
+
+@pytest.mark.figure
+def test_bench_fig4_pca_analysis(benchmark, dataset):
+    analysis = run_once(benchmark, fig4_pca.run, dataset=dataset)
+    print("\n" + fig4_pca.format_table(analysis))
+
+    # Figure 4a: the retained components cover ~95 % of the variance and
+    # the first component dominates.
+    assert analysis.cumulative_variance >= 0.95
+    assert analysis.explained_variance_ratio[0] >= 0.5
+    # Figure 4b: cache behaviour and block I/O dominate the importance
+    # ranking (L1 miss rates, vcache, bo are the paper's top features).
+    top = set(analysis.top_features(6))
+    assert {"L1_TCM", "L1_DCM", "L1_STM"} & top
+    assert "bo" in top or "vcache" in top

@@ -1,0 +1,50 @@
+"""Figure 6 + headline numbers — overall STP and ANTT comparison.
+
+Runs a reduced version of the paper's main evaluation grid (a subset of the
+Table 3 scenarios, a couple of random mixes each) and checks the published
+orderings: co-location beats isolated execution by a large factor, our
+approach beats Pairwise and Quasar, and it achieves a large fraction of the
+Oracle's performance.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_overall, headline
+from repro.experiments.common import overall_geomean
+
+SCENARIOS = ("L1", "L3", "L5", "L8", "L10")
+
+
+@pytest.mark.figure
+def test_bench_fig6_overall_stp_and_antt(benchmark, suite):
+    results = run_once(benchmark, fig6_overall.run, scenarios=SCENARIOS,
+                       n_mixes=2, seed=11, suite=suite)
+    print("\n" + fig6_overall.format_table(results))
+    numbers = headline.summarize(results)
+    print(headline.format_table(numbers))
+
+    ours = overall_geomean(results, "ours")
+    oracle = overall_geomean(results, "oracle")
+    pairwise = overall_geomean(results, "pairwise")
+    quasar = overall_geomean(results, "quasar")
+
+    # Qualitative claims of Section 6.2.
+    assert ours > pairwise, "our approach must beat the Pairwise baseline"
+    assert ours >= quasar * 0.98, "our approach must match or beat Quasar overall"
+    assert quasar > pairwise, "Quasar outperforms Pairwise"
+    assert ours <= oracle * 1.02, "the Oracle is an upper bound"
+    assert numbers.fraction_of_oracle_stp > 0.7, \
+        "our approach achieves a large fraction of the Oracle STP (paper: 83.9%)"
+
+    # STP grows with the number of co-scheduled applications (Figure 6a).
+    ours_by_scenario = [r.stp_geomean for r in results if r.scheme == "ours"]
+    assert ours_by_scenario[-1] > ours_by_scenario[0]
+
+    # Large task groups: our approach clearly outgrows Pairwise (paper:
+    # >1.7x for L8-L10).
+    large_ours = [r.stp_geomean for r in results
+                  if r.scheme == "ours" and r.scenario in ("L8", "L10")]
+    large_pairwise = [r.stp_geomean for r in results
+                      if r.scheme == "pairwise" and r.scenario in ("L8", "L10")]
+    assert min(o / p for o, p in zip(large_ours, large_pairwise)) > 1.2

@@ -1,0 +1,26 @@
+"""Figures 7 and 8 — server utilisation and turnaround for the Table 4 mix."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_8_utilization
+
+
+@pytest.mark.figure
+def test_bench_fig7_fig8_table4_mix(benchmark, suite):
+    results = run_once(benchmark, fig7_8_utilization.run, suite=suite)
+    print("\n" + fig7_8_utilization.format_table(results))
+    by_scheme = {r.scheme: r for r in results}
+
+    ours = by_scheme["ours"]
+    pairwise = by_scheme["pairwise"]
+    quasar = by_scheme["quasar"]
+
+    # Figure 8: our approach gives the best STP and the fastest turnaround.
+    assert ours.stp > pairwise.stp
+    assert ours.stp > quasar.stp * 0.95
+    assert ours.turnaround_min < pairwise.turnaround_min * 1.05
+    # Figure 7: our approach drives the highest server utilisation.
+    assert ours.mean_utilization_percent >= pairwise.mean_utilization_percent
+    # The heat-map data covers all 40 nodes.
+    assert ours.utilization_matrix.shape[0] == 40

@@ -1,0 +1,33 @@
+"""Figure 9 — unified single-model baselines vs the mixture of experts."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_unified
+from repro.experiments.common import overall_geomean
+
+SCENARIOS = ("L3", "L5", "L8", "L10")
+
+
+@pytest.mark.figure
+def test_bench_fig9_unified_models(benchmark, suite):
+    results = run_once(benchmark, fig9_unified.run, scenarios=SCENARIOS,
+                       n_mixes=2, seed=11, suite=suite)
+    print("\n" + fig9_unified.format_table(results))
+
+    ours = overall_geomean(results, "ours")
+    unified = {
+        scheme: overall_geomean(results, scheme)
+        for scheme in fig9_unified.SCHEMES if scheme != "ours"
+    }
+    print({k: round(v, 2) for k, v in unified.items()}, "ours", round(ours, 2))
+
+    # Section 6.4: our approach outperforms (or at worst matches) every
+    # unified single-model baseline on STP.  The margin in this simulator
+    # is smaller than the paper's because all families approximate the
+    # relevant footprint range reasonably well (see EXPERIMENTS.md).
+    for scheme, value in unified.items():
+        assert ours >= value * 0.97, f"ours should not lose to {scheme}"
+    # The ANN is the strongest single-model baseline or close to it
+    # (Section 6.4) — it must at least clearly beat the worst fixed family.
+    assert unified["unified_ann"] >= min(unified.values()) * 0.99

@@ -1,0 +1,22 @@
+"""Table 5 — accuracy of alternative expert-selector classifiers."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table5_classifiers
+
+
+@pytest.mark.figure
+def test_bench_table5_classifier_accuracy(benchmark, dataset):
+    results = run_once(benchmark, table5_classifiers.run, dataset=dataset)
+    print("\n" + table5_classifiers.format_table(results))
+
+    accuracies = {row.classifier: row.accuracy_percent for row in results}
+    # Every classifier in Table 5 is evaluated.
+    assert set(accuracies) == set(table5_classifiers.CLASSIFIERS)
+    # Table 5: thanks to the high-quality features, all classifiers are
+    # highly accurate (the paper reports 92.5–97.4 %).
+    assert all(value >= 80.0 for value in accuracies.values())
+    # KNN is among the best classifiers, which is why the paper adopts it.
+    best = max(accuracies.values())
+    assert accuracies["KNN"] >= best - 5.0

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Study co-location interference on a single host.
+
+Reproduces the interference experiments of Section 6.8 at example scale:
+
+* Figure 14 — how much a Spark benchmark slows down when the memory-aware
+  scheme co-locates another Spark application on the same host;
+* Figure 15 — how much computation-intensive PARSEC programs slow down
+  when they share a host with a Spark task.
+
+Run with:  python examples/interference_study.py
+"""
+
+from repro.experiments import fig14_interference, fig15_parsec
+from repro.experiments.common import SchedulerSuite
+
+
+def main() -> None:
+    suite = SchedulerSuite()
+
+    # Spark-vs-Spark interference for a handful of targets (full Figure 14
+    # pairs every training benchmark with all 43 others).
+    distributions = fig14_interference.run(
+        targets=["HB.Sort", "HB.Aggregation", "BDB.PageRank", "HB.Kmeans"],
+        co_runners_per_target=6,
+        input_gb=25.0,
+        suite=suite,
+    )
+    print(fig14_interference.format_table(distributions))
+    print()
+
+    # PARSEC-vs-Spark interference (all 12 x 44 pairs, analytic model).
+    parsec = fig15_parsec.run()
+    print(fig15_parsec.format_table(parsec))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Analyse the trained predictor: features, clusters and accuracy.
+
+Reproduces the model-analysis part of the paper's evaluation (Section 6.9)
+at example scale:
+
+* which raw features matter (Varimax analysis, Figure 4b);
+* how the 44 benchmarks cluster in the 2-D feature space and how the
+  clusters map to memory functions (Figure 16);
+* how accurately the leave-one-out-trained predictor estimates memory
+  footprints (Figure 17);
+* how the KNN expert selector compares with alternative classifiers
+  (Table 5).
+
+Run with:  python examples/model_analysis.py
+"""
+
+from repro.core import MixtureOfExperts
+from repro.core.training import collect_training_data
+from repro.experiments import (
+    fig4_pca,
+    fig16_clusters,
+    fig17_accuracy,
+    table5_classifiers,
+)
+
+
+def main() -> None:
+    dataset = collect_training_data()
+    moe = MixtureOfExperts.from_dataset(dataset)
+
+    print(fig4_pca.format_table(fig4_pca.run(dataset=dataset)))
+    print()
+
+    analysis = fig16_clusters.run(moe=moe)
+    print(fig16_clusters.format_table(analysis))
+    print()
+
+    rows = fig17_accuracy.run(moe=moe)
+    print(fig17_accuracy.format_table(rows))
+    print()
+
+    # Table 5 re-trains every classifier 16 times (leave-one-out), so a
+    # reduced repeat count keeps the example snappy.
+    results = table5_classifiers.run(dataset=dataset, n_repeats=2)
+    print(table5_classifiers.format_table(results))
+
+
+if __name__ == "__main__":
+    main()

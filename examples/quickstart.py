@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: predict a Spark application's memory footprint.
+
+This walks through the paper's runtime pipeline for a single "unseen"
+application:
+
+1. train the mixture of experts offline on the 16 HiBench/BigDataBench
+   programs;
+2. profile the incoming application on a small sample of its input
+   (features + CPU load + two calibration measurements);
+3. let the expert selector pick the memory-function family and calibrate
+   its coefficients;
+4. use the calibrated function to answer the two questions the scheduler
+   asks: "how much memory does this executor need for N gigabytes of
+   data?" and "how much data fits in a given memory budget?".
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import MixtureOfExperts
+from repro.profiling import Profiler
+from repro.workloads import benchmark_by_name
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Offline training (a one-off cost in the paper, Section 3.3).
+    # ------------------------------------------------------------------
+    moe = MixtureOfExperts.train(seed=0)
+    print(f"trained on {len(moe.dataset)} programs; "
+          f"families learned: {sorted(set(moe.dataset.families()))}")
+
+    # ------------------------------------------------------------------
+    # 2. An "unseen" application arrives: SparkBench matrix factorisation
+    #    with a 500 GB input.  It was never part of the training set.
+    # ------------------------------------------------------------------
+    app_name = "SB.MatrixFact"
+    input_gb = 500.0
+    spec = benchmark_by_name(app_name)
+    profiler = Profiler(seed=42)
+    report = profiler.profile(app_name, spec, input_gb)
+    print(f"\nprofiled {app_name} ({input_gb:.0f} GB input): "
+          f"cpu load {report.cpu_load:.0%}, "
+          f"profiling cost {report.total_profiling_min:.1f} min")
+
+    # ------------------------------------------------------------------
+    # 3. Expert selection + two-point calibration (Section 4.1).
+    # ------------------------------------------------------------------
+    prediction = moe.predict_from_report(report)
+    m, b = prediction.function.coefficients
+    print(f"selected memory function: {prediction.family} "
+          f"(nearest training program: {prediction.selection.nearest_program}, "
+          f"confident={prediction.confident})")
+    print(f"calibrated coefficients: m={m:.3f}, b={b:.3f}")
+
+    # ------------------------------------------------------------------
+    # 4. The two scheduler queries (Section 4.3).
+    # ------------------------------------------------------------------
+    for data_gb in (5.0, 25.0, 50.0):
+        predicted = prediction.footprint_gb(data_gb)
+        actual = spec.true_footprint_gb(data_gb)
+        error = 100.0 * (predicted - actual) / actual
+        print(f"  executor caching {data_gb:5.1f} GB -> predicted "
+              f"{predicted:5.1f} GB (actual {actual:5.1f} GB, {error:+.1f}%)")
+
+    budget_gb = 16.0
+    fits = prediction.data_for_budget_gb(budget_gb)
+    print(f"  a {budget_gb:.0f} GB executor can safely cache "
+          f"~{fits:.1f} GB of input data")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so that legacy
+(non-PEP-517) editable installs keep working in fully offline environments
+where pip cannot download an isolated build backend.
+"""
+
+from setuptools import setup
+
+setup()

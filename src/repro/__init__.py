@@ -1,0 +1,27 @@
+"""Reproduction of "Improving Spark Application Throughput Via Memory Aware
+Task Co-location: A Mixture of Experts Approach" (Middleware 2017).
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+* :mod:`repro.ml` — from-scratch machine-learning building blocks.
+* :mod:`repro.spark` — a Spark-like application/executor/RDD model.
+* :mod:`repro.cluster` — a discrete-event multi-node cluster simulator with
+  memory-pressure and CPU-contention modelling.
+* :mod:`repro.profiling` — synthetic runtime feature (performance counter)
+  collection and profiling runs.
+* :mod:`repro.workloads` — the 44-benchmark catalogue used in the paper's
+  evaluation, plus PARSEC-like compute workloads and task-mix generation.
+* :mod:`repro.core` — the mixture-of-experts memory predictor (memory
+  functions, expert selector, calibration, offline training).
+* :mod:`repro.scheduling` — co-location schedulers: the paper's approach and
+  every comparative baseline (isolated, pairwise, Quasar-like, online
+  search, unified single-model, oracle).
+* :mod:`repro.metrics` — STP, ANTT, utilization, slowdown and report helpers.
+* :mod:`repro.experiments` — drivers that regenerate every table and figure
+  of the paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,45 @@
+"""Cluster substrate: nodes, resource monitoring and the co-location simulator.
+
+The paper evaluates on a 40-node cluster (8-core/16-thread Xeon E5-2650,
+64 GB DDR4, 16 GB swap per node) managed by YARN (Section 5.1).  This
+package provides the equivalent simulated infrastructure:
+
+* :mod:`repro.cluster.node` / :mod:`repro.cluster.cluster` — the machines;
+* :mod:`repro.cluster.resource_monitor` — the per-node daemon that reports
+  coarse-grained (windowed) memory and CPU usage to the coordinator;
+* :mod:`repro.cluster.yarn` — the resource-manager bookkeeping used by the
+  job dispatcher to reserve executor containers;
+* :mod:`repro.cluster.events` — the simulation clock and event log;
+* :mod:`repro.cluster.simulator` — a time-stepped co-location simulator
+  that models CPU contention, memory-bandwidth interference, paging when a
+  node's resident memory exceeds its RAM, and out-of-memory executor
+  failures.
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.cluster import Cluster, paper_cluster
+from repro.cluster.events import Event, EventKind, EventLog
+from repro.cluster.resource_monitor import ResourceMonitor
+from repro.cluster.yarn import ContainerRequest, ResourceManager
+from repro.cluster.simulator import (
+    ClusterSimulator,
+    InterferenceModel,
+    SimulationResult,
+    SchedulingContext,
+)
+
+__all__ = [
+    "Node",
+    "Cluster",
+    "paper_cluster",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "ResourceMonitor",
+    "ContainerRequest",
+    "ResourceManager",
+    "ClusterSimulator",
+    "InterferenceModel",
+    "SimulationResult",
+    "SchedulingContext",
+]

@@ -1,0 +1,67 @@
+"""The multi-node cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import Node
+
+__all__ = ["Cluster", "paper_cluster"]
+
+
+@dataclass
+class Cluster:
+    """A collection of identically configured computing nodes."""
+
+    nodes: list[Node] = field(default_factory=list)
+
+    @classmethod
+    def homogeneous(cls, n_nodes: int, ram_gb: float = 64.0, swap_gb: float = 16.0,
+                    cores: int = 16) -> "Cluster":
+        """Build a cluster of ``n_nodes`` identical machines."""
+        if n_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        return cls(nodes=[
+            Node(node_id=i, ram_gb=ram_gb, swap_gb=swap_gb, cores=cores)
+            for i in range(n_nodes)
+        ])
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by its identifier."""
+        if not 0 <= node_id < len(self.nodes):
+            raise KeyError(f"unknown node id {node_id}")
+        return self.nodes[node_id]
+
+    @property
+    def total_ram_gb(self) -> float:
+        """Aggregate physical memory across the cluster."""
+        return sum(node.ram_gb for node in self.nodes)
+
+    def total_reserved_memory_gb(self) -> float:
+        """Aggregate memory currently promised to executors."""
+        return sum(node.reserved_memory_gb for node in self.nodes)
+
+    def nodes_by_free_memory(self) -> list[Node]:
+        """Nodes sorted by unreserved memory, most available first."""
+        return sorted(self.nodes, key=lambda n: n.free_reserved_memory_gb,
+                      reverse=True)
+
+    def idle_nodes(self) -> list[Node]:
+        """Nodes that currently host no active executor."""
+        return [node for node in self.nodes if not node.active_executors()]
+
+    def active_applications(self) -> set[str]:
+        """Applications with at least one active executor anywhere."""
+        applications: set[str] = set()
+        for node in self.nodes:
+            applications |= node.applications()
+        return applications
+
+
+def paper_cluster() -> Cluster:
+    """The evaluation platform of the paper: 40 nodes, 64 GB RAM, 16 GB swap,
+    16 hardware threads each (Section 5.1)."""
+    return Cluster.homogeneous(n_nodes=40, ram_gb=64.0, swap_gb=16.0, cores=16)

@@ -1,0 +1,67 @@
+"""Simulation events and the event log.
+
+The simulator records notable occurrences — executor spawns, completions,
+out-of-memory failures, paging episodes, application completions — so that
+tests and experiments can assert on *why* a schedule behaved the way it
+did, not just on the final numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["EventKind", "Event", "EventLog"]
+
+
+class EventKind(str, Enum):
+    """Types of events recorded during a simulation."""
+
+    APP_SUBMITTED = "app_submitted"
+    PROFILING_STARTED = "profiling_started"
+    PROFILING_FINISHED = "profiling_finished"
+    EXECUTOR_SPAWNED = "executor_spawned"
+    EXECUTOR_FINISHED = "executor_finished"
+    EXECUTOR_OOM = "executor_oom"
+    NODE_PAGING = "node_paging"
+    APP_STARTED = "app_started"
+    APP_FINISHED = "app_finished"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single timestamped simulation event."""
+
+    time: float
+    kind: EventKind
+    app: str | None = None
+    node_id: int | None = None
+    detail: str = ""
+
+
+@dataclass
+class EventLog:
+    """Append-only log of simulation events."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def record(self, time: float, kind: EventKind, app: str | None = None,
+               node_id: int | None = None, detail: str = "") -> None:
+        """Append an event to the log."""
+        self.events.append(Event(time=time, kind=kind, app=app,
+                                 node_id=node_id, detail=detail))
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All events of the given kind, in chronological order."""
+        return [event for event in self.events if event.kind is kind]
+
+    def for_app(self, app: str) -> list[Event]:
+        """All events concerning the given application."""
+        return [event for event in self.events if event.app == app]
+
+    def count(self, kind: EventKind) -> int:
+        """Number of recorded events of the given kind."""
+        return sum(1 for event in self.events if event.kind is kind)
+
+    def __len__(self) -> int:
+        return len(self.events)

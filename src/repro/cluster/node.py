@@ -1,0 +1,123 @@
+"""A single computing node.
+
+Mirrors the paper's hardware: each node has 64 GB of RAM, 16 GB of swap and
+an 8-core/16-thread CPU (Section 5.1).  A node hosts executor processes;
+the memory *reservations* (scheduler bookkeeping, i.e. granted heap sizes)
+are tracked separately from the *actual* footprints, which the simulator
+computes from ground truth — the gap between the two is exactly where
+mispredicted memory requirements cause paging or out-of-memory failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spark.executor import Executor
+
+__all__ = ["Node"]
+
+
+@dataclass
+class Node:
+    """One compute server in the cluster.
+
+    Parameters
+    ----------
+    node_id:
+        Index of the node within the cluster.
+    ram_gb:
+        Physical memory available to executors.
+    swap_gb:
+        Swap space; executors spilling into swap run at a severe paging
+        penalty but do not fail outright.
+    cores:
+        Hardware threads available for task execution.
+    """
+
+    node_id: int
+    ram_gb: float = 64.0
+    swap_gb: float = 16.0
+    cores: int = 16
+    executors: list[Executor] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.ram_gb <= 0:
+            raise ValueError("ram_gb must be positive")
+        if self.swap_gb < 0:
+            raise ValueError("swap_gb cannot be negative")
+        if self.cores < 1:
+            raise ValueError("cores must be at least 1")
+
+    # ------------------------------------------------------------------
+    # Executor management
+    # ------------------------------------------------------------------
+    def add_executor(self, executor: Executor) -> None:
+        """Place an executor on this node."""
+        if executor.node_id != self.node_id:
+            raise ValueError("executor is destined for a different node")
+        self.executors.append(executor)
+        self.rebalance_threads()
+
+    def remove_executor(self, executor: Executor) -> None:
+        """Remove an executor (finished or failed) from this node."""
+        self.executors.remove(executor)
+        self.rebalance_threads()
+
+    def active_executors(self) -> list[Executor]:
+        """Executors still running work on this node."""
+        return [e for e in self.executors if e.is_active]
+
+    def applications(self) -> set[str]:
+        """Names of the applications with an active executor on this node."""
+        return {e.app_name for e in self.active_executors()}
+
+    def rebalance_threads(self) -> None:
+        """Evenly distribute the node's cores across active executors.
+
+        The paper dynamically adjusts the number of threads created by each
+        executor so that co-running executors share processor cores evenly
+        (Section 4.3).
+        """
+        active = self.active_executors()
+        if not active:
+            return
+        share = max(1, self.cores // len(active))
+        for executor in active:
+            executor.threads = share
+
+    # ------------------------------------------------------------------
+    # Reservation (scheduler-side) accounting
+    # ------------------------------------------------------------------
+    @property
+    def reserved_memory_gb(self) -> float:
+        """Total heap granted to executors still running on this node."""
+        return sum(e.memory_budget_gb for e in self.executors if e.is_active)
+
+    @property
+    def free_reserved_memory_gb(self) -> float:
+        """Memory not yet promised to any executor."""
+        return max(self.ram_gb - self.reserved_memory_gb, 0.0)
+
+    @property
+    def reserved_cpu_load(self) -> float:
+        """Aggregate CPU demand of the active executors on this node."""
+        return sum(e.cpu_demand for e in self.active_executors())
+
+    @property
+    def free_cpu_load(self) -> float:
+        """Remaining CPU headroom before the aggregate load reaches 100 %."""
+        return max(1.0 - self.reserved_cpu_load, 0.0)
+
+    def can_host(self, memory_gb: float, cpu_load: float) -> bool:
+        """Whether a new executor with the given demands fits this node.
+
+        This is the paper's co-location admission test: the executor's
+        memory must fit in the unreserved RAM, and the aggregate CPU load
+        of all co-running tasks must not exceed 100 % (Section 4.3).
+        """
+        if memory_gb <= 0:
+            return False
+        return (
+            memory_gb <= self.free_reserved_memory_gb + 1e-9
+            and self.reserved_cpu_load + cpu_load <= 1.0 + 1e-9
+        )

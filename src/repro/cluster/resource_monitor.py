@@ -1,0 +1,71 @@
+"""Per-node resource monitoring.
+
+Each computing node runs a daemon that periodically reports its memory
+usage and CPU load to a central resource monitor; the paper's
+implementation reports averages over a 5-minute window read from
+``/proc`` (Section 4.2).  Because the reporting is coarse grained, the job
+dispatcher may act on slightly stale information — this staleness is part
+of what the simulation reproduces.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+__all__ = ["ResourceMonitor"]
+
+
+@dataclass(frozen=True)
+class _Sample:
+    time: float
+    memory_gb: float
+    cpu_load: float
+
+
+class ResourceMonitor:
+    """Windowed per-node memory and CPU usage reporting.
+
+    Parameters
+    ----------
+    window_min:
+        Length of the averaging window in minutes (the paper uses 5).
+    """
+
+    def __init__(self, window_min: float = 5.0) -> None:
+        if window_min <= 0:
+            raise ValueError("window_min must be positive")
+        self.window_min = window_min
+        self._samples: dict[int, deque[_Sample]] = defaultdict(deque)
+
+    def record(self, time: float, node_id: int, memory_gb: float,
+               cpu_load: float) -> None:
+        """Record one usage sample for a node.
+
+        Samples older than the averaging window are discarded.
+        """
+        if memory_gb < 0 or cpu_load < 0:
+            raise ValueError("usage samples cannot be negative")
+        samples = self._samples[node_id]
+        samples.append(_Sample(time=time, memory_gb=memory_gb, cpu_load=cpu_load))
+        cutoff = time - self.window_min
+        while samples and samples[0].time < cutoff:
+            samples.popleft()
+
+    def reported_memory_gb(self, node_id: int) -> float:
+        """Windowed average memory usage of a node (0 when never sampled)."""
+        samples = self._samples.get(node_id)
+        if not samples:
+            return 0.0
+        return sum(s.memory_gb for s in samples) / len(samples)
+
+    def reported_cpu_load(self, node_id: int) -> float:
+        """Windowed average CPU load of a node (0 when never sampled)."""
+        samples = self._samples.get(node_id)
+        if not samples:
+            return 0.0
+        return sum(s.cpu_load for s in samples) / len(samples)
+
+    def has_samples(self, node_id: int) -> bool:
+        """Whether any sample has been recorded for the node."""
+        return bool(self._samples.get(node_id))

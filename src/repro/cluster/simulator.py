@@ -1,0 +1,423 @@
+"""Time-stepped co-location simulator.
+
+This is the execution substrate standing in for the paper's 40-node
+Spark/YARN cluster.  It advances simulated time in small steps; at every
+step the active scheduler is consulted (it may spawn new executors on
+nodes with spare resources), and then every executor makes progress at a
+rate degraded by three interference effects:
+
+* **CPU contention** — when the aggregate CPU demand of the executors on a
+  node exceeds 100 %, every executor's progress is scaled down
+  proportionally (the paper's admission rule tries to avoid this);
+* **memory-bandwidth interference** — co-running executors slow each other
+  down slightly even without paging (this produces the sub-25 % slowdowns
+  of Figures 14 and 15);
+* **paging** — when the *actual* resident memory on a node exceeds its RAM,
+  the overflow spills to swap and every executor on the node runs at a
+  severe penalty; if even the swap is exhausted, the most recently placed
+  executor is killed with an out-of-memory error and its unprocessed data
+  is returned to the application (the paper re-runs such executors,
+  Section 2.3).
+
+The gap between the memory a scheduler *reserves* (its belief, derived from
+its predictor) and the memory an executor *actually* uses (ground truth
+from the benchmark specification) is what makes memory-prediction accuracy
+matter: under-prediction causes paging and OOM kills, over-prediction
+wastes co-location opportunities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.events import EventKind, EventLog
+from repro.cluster.resource_monitor import ResourceMonitor
+from repro.cluster.yarn import ContainerRequest, ResourceManager
+from repro.spark.application import ApplicationState, SparkApplication
+from repro.spark.executor import Executor, ExecutorState
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.mixes import Job
+from repro.workloads.suites import benchmark_by_name
+
+__all__ = [
+    "InterferenceModel",
+    "SchedulingContext",
+    "SimulationResult",
+    "ClusterSimulator",
+]
+
+
+@dataclass(frozen=True)
+class InterferenceModel:
+    """Co-location interference parameters.
+
+    Parameters
+    ----------
+    bandwidth_alpha:
+        Fractional slowdown added per additional co-running executor on a
+        node (memory-bandwidth and last-level-cache contention).
+    bandwidth_floor:
+        Lower bound on the bandwidth interference factor.
+    paging_slowdown:
+        Progress multiplier applied to every executor on a node whose
+        resident memory exceeds RAM (but still fits RAM + swap).
+    """
+
+    bandwidth_alpha: float = 0.035
+    bandwidth_floor: float = 0.75
+    paging_slowdown: float = 0.12
+
+    def bandwidth_factor(self, n_colocated: int) -> float:
+        """Progress factor due to co-runner memory-bandwidth pressure."""
+        if n_colocated <= 1:
+            return 1.0
+        return max(self.bandwidth_floor,
+                   1.0 - self.bandwidth_alpha * (n_colocated - 1))
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated schedule."""
+
+    apps: dict[str, SparkApplication]
+    events: EventLog
+    makespan_min: float
+    utilization_times: list[float] = field(default_factory=list)
+    utilization_trace: dict[int, list[float]] = field(default_factory=dict)
+
+    def finished_apps(self) -> list[SparkApplication]:
+        """Applications that completed within the simulation horizon."""
+        return [app for app in self.apps.values()
+                if app.state is ApplicationState.FINISHED]
+
+    def all_finished(self) -> bool:
+        """Whether every submitted application completed."""
+        return all(app.state is ApplicationState.FINISHED
+                   for app in self.apps.values())
+
+    def turnaround_min(self, name: str) -> float:
+        """Turnaround time of one application."""
+        return self.apps[name].turnaround_min()
+
+    def mean_node_utilization(self) -> float:
+        """Average CPU utilisation (%) across nodes and time."""
+        if not self.utilization_trace:
+            return 0.0
+        traces = [np.mean(trace) for trace in self.utilization_trace.values() if trace]
+        return float(np.mean(traces)) if traces else 0.0
+
+
+class SchedulingContext:
+    """The interface through which schedulers observe and act on the cluster.
+
+    Schedulers never touch ground-truth footprints through this object —
+    they see only their own reservations, the resource monitor's (windowed,
+    hence slightly stale) usage reports, and whatever their predictor tells
+    them.
+    """
+
+    def __init__(self, simulator: "ClusterSimulator") -> None:
+        self._sim = simulator
+        self.now: float = 0.0
+
+    # -- observation ---------------------------------------------------
+    @property
+    def cluster(self) -> Cluster:
+        """The simulated cluster."""
+        return self._sim.cluster
+
+    @property
+    def monitor(self) -> ResourceMonitor:
+        """The resource monitor fed by the per-node daemons."""
+        return self._sim.monitor
+
+    def apps(self) -> dict[str, SparkApplication]:
+        """All submitted applications by name."""
+        return self._sim.apps
+
+    def spec_of(self, app: SparkApplication) -> BenchmarkSpec:
+        """Benchmark specification for an application."""
+        return self._sim.specs[app.name]
+
+    def waiting_apps(self) -> list[SparkApplication]:
+        """Applications that are ready to be scheduled and not yet complete.
+
+        Applications still inside their profiling window (feature
+        extraction / calibration) are not returned, mirroring the paper's
+        flow where profiling happens while the task waits to be scheduled.
+        """
+        ready = []
+        for app in self._sim.submission_order:
+            if app.state is ApplicationState.FINISHED:
+                continue
+            if self._sim.ready_time[app.name] > self.now + 1e-9:
+                continue
+            if app.unassigned_gb > 1e-6:
+                ready.append(app)
+        return ready
+
+    def running_apps(self) -> list[SparkApplication]:
+        """Applications that currently have at least one active executor."""
+        return [app for app in self._sim.submission_order if app.active_executors]
+
+    def node_free_memory_gb(self, node_id: int) -> float:
+        """Unreserved memory on a node (scheduler's own bookkeeping)."""
+        return self._sim.cluster.node(node_id).free_reserved_memory_gb
+
+    def node_cpu_headroom(self, node_id: int) -> float:
+        """CPU headroom on a node before aggregate load reaches 100 %.
+
+        Uses the larger of the reservation-based estimate and the
+        monitor-reported load, so a scheduler cannot oversubscribe CPU just
+        because the monitoring window lags behind.
+        """
+        node = self._sim.cluster.node(node_id)
+        reported = self._sim.monitor.reported_cpu_load(node_id)
+        return max(0.0, 1.0 - max(node.reserved_cpu_load, reported))
+
+    # -- action ----------------------------------------------------------
+    def spawn_executor(self, app: SparkApplication, node_id: int,
+                       memory_budget_gb: float, data_gb: float,
+                       enforce_admission: bool = True) -> Executor | None:
+        """Spawn an executor for ``app`` on ``node_id``.
+
+        ``memory_budget_gb`` is the heap reservation (the scheduler's
+        belief); ``data_gb`` is how much of the application's unassigned
+        input the executor will cache and process.  Returns ``None`` when
+        no unassigned data is left or the admission test fails (with
+        ``enforce_admission=True``).
+        """
+        node = self._sim.cluster.node(node_id)
+        spec = self.spec_of(app)
+        if enforce_admission and not node.can_host(memory_budget_gb, spec.cpu_load):
+            return None
+        granted = app.take_unassigned(data_gb)
+        if granted <= 1e-9:
+            return None
+        request = ContainerRequest(app_name=app.name, node_id=node_id,
+                                   memory_gb=memory_budget_gb,
+                                   cpu_load=spec.cpu_load)
+        if enforce_admission:
+            self._sim.resource_manager.grant(request)
+        executor = Executor(app_name=app.name, node_id=node_id,
+                            memory_budget_gb=memory_budget_gb,
+                            assigned_gb=granted, cpu_demand=spec.cpu_load)
+        node.add_executor(executor)
+        app.add_executor(executor)
+        app.mark_started(self.now)
+        self._sim.events.record(self.now, EventKind.EXECUTOR_SPAWNED,
+                                app=app.name, node_id=node_id,
+                                detail=f"budget={memory_budget_gb:.1f}GB "
+                                       f"data={granted:.1f}GB")
+        return executor
+
+
+class ClusterSimulator:
+    """Drives one schedule of a job mix under a given scheduler."""
+
+    def __init__(self, cluster: Cluster, scheduler, time_step_min: float = 0.5,
+                 interference: InterferenceModel | None = None,
+                 monitor_window_min: float = 5.0,
+                 max_time_min: float = 50_000.0,
+                 record_utilization: bool = True,
+                 seed: int | None = 0) -> None:
+        if time_step_min <= 0:
+            raise ValueError("time_step_min must be positive")
+        if max_time_min <= 0:
+            raise ValueError("max_time_min must be positive")
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.time_step_min = time_step_min
+        self.interference = interference or InterferenceModel()
+        self.monitor = ResourceMonitor(window_min=monitor_window_min)
+        self.resource_manager = ResourceManager(cluster=cluster)
+        self.max_time_min = max_time_min
+        self.record_utilization = record_utilization
+        self.rng = np.random.default_rng(seed)
+        self.events = EventLog()
+        self.apps: dict[str, SparkApplication] = {}
+        self.specs: dict[str, BenchmarkSpec] = {}
+        self.ready_time: dict[str, float] = {}
+        self.submission_order: list[SparkApplication] = []
+        # Data whose executor was killed by an out-of-memory error; it is
+        # re-run in isolation on an idle node (paper Section 2.3) rather than
+        # handed back to the scheduler, which would otherwise retry the same
+        # doomed placement forever.
+        self.oom_retry_gb: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _submit(self, jobs: list[Job]) -> None:
+        counts: dict[str, int] = {}
+        for job in jobs:
+            spec = benchmark_by_name(job.benchmark)
+            occurrence = counts.get(job.benchmark, 0)
+            counts[job.benchmark] = occurrence + 1
+            name = f"{job.benchmark}#{occurrence}" if occurrence else job.benchmark
+            app = SparkApplication(name=name, spec=spec, input_gb=job.input_gb,
+                                   submit_time=0.0)
+            self.apps[name] = app
+            self.specs[name] = spec
+            self.submission_order.append(app)
+            self.events.record(0.0, EventKind.APP_SUBMITTED, app=name,
+                               detail=f"input={job.input_gb:.1f}GB")
+            delay = 0.0
+            if hasattr(self.scheduler, "on_submit"):
+                context = SchedulingContext(self)
+                delay = float(self.scheduler.on_submit(context, app) or 0.0)
+            self.ready_time[name] = delay
+            if delay > 0:
+                app.state = ApplicationState.PROFILING
+                self.events.record(0.0, EventKind.PROFILING_STARTED, app=name)
+                self.events.record(delay, EventKind.PROFILING_FINISHED, app=name)
+
+    # ------------------------------------------------------------------
+    # Core step
+    # ------------------------------------------------------------------
+    def _advance_executors(self, now: float) -> None:
+        dt = self.time_step_min
+        for node in self.cluster.nodes:
+            active = node.active_executors()
+            if not active:
+                self.monitor.record(now, node.node_id, 0.0, 0.0)
+                if self.record_utilization:
+                    self._utilization[node.node_id].append(0.0)
+                continue
+
+            footprints = {
+                e.executor_id: self.specs[e.app_name].true_footprint_gb(e.cached_gb())
+                for e in active
+            }
+            total_memory = sum(footprints.values())
+
+            # Out-of-memory: kill the most recently placed executors until
+            # the remainder fits in RAM + swap.
+            while total_memory > node.ram_gb + node.swap_gb and len(active) > 1:
+                victim = max(active, key=lambda e: e.executor_id)
+                lost = victim.fail_out_of_memory()
+                self.oom_retry_gb[victim.app_name] = (
+                    self.oom_retry_gb.get(victim.app_name, 0.0) + lost
+                )
+                node.remove_executor(victim)
+                self.events.record(now, EventKind.EXECUTOR_OOM,
+                                   app=victim.app_name, node_id=node.node_id,
+                                   detail=f"returned={lost:.1f}GB")
+                active = node.active_executors()
+                footprints = {
+                    e.executor_id:
+                        self.specs[e.app_name].true_footprint_gb(e.cached_gb())
+                    for e in active
+                }
+                total_memory = sum(footprints.values())
+
+            total_cpu = sum(e.cpu_demand for e in active)
+            cpu_factor = 1.0 if total_cpu <= 1.0 else 1.0 / total_cpu
+            paging = total_memory > node.ram_gb
+            if paging:
+                self.events.record(now, EventKind.NODE_PAGING,
+                                   node_id=node.node_id,
+                                   detail=f"resident={total_memory:.1f}GB")
+            memory_factor = self.interference.paging_slowdown if paging else 1.0
+            bandwidth_factor = self.interference.bandwidth_factor(len(active))
+
+            for executor in list(active):
+                spec = self.specs[executor.app_name]
+                rate = (spec.rate_gb_per_min * cpu_factor * memory_factor
+                        * bandwidth_factor)
+                executor.advance(rate * dt)
+                if executor.state is ExecutorState.FINISHED:
+                    node.remove_executor(executor)
+                    self.events.record(now + dt, EventKind.EXECUTOR_FINISHED,
+                                       app=executor.app_name,
+                                       node_id=node.node_id)
+
+            utilization = min(total_cpu, 1.0) * cpu_factor * 100.0
+            self.monitor.record(now, node.node_id, total_memory,
+                                min(total_cpu, 1.0))
+            if self.record_utilization:
+                self._utilization[node.node_id].append(utilization)
+
+    def _rerun_oom_data_in_isolation(self, context: "SchedulingContext") -> None:
+        """Re-run data from OOM-killed executors on idle nodes, in isolation.
+
+        The replacement executor gets the node to itself and a reservation of
+        the node's full RAM, mirroring the paper's recovery policy; only as
+        much data as provably fits the node is handed out per replacement.
+        """
+        for app_name, pending_gb in list(self.oom_retry_gb.items()):
+            if pending_gb <= 1e-9:
+                continue
+            app = self.apps[app_name]
+            spec = self.specs[app_name]
+            for node in self.cluster.idle_nodes():
+                if pending_gb <= 1e-9:
+                    break
+                safe_gb = spec.data_for_budget_gb(node.ram_gb * 0.9,
+                                                  max_gb=pending_gb)
+                chunk = min(pending_gb, max(safe_gb, 0.1))
+                app.return_unassigned(chunk)
+                executor = context.spawn_executor(app, node.node_id,
+                                                  node.ram_gb, chunk)
+                if executor is None:
+                    app.take_unassigned(chunk)
+                    continue
+                pending_gb -= chunk
+            self.oom_retry_gb[app_name] = pending_gb
+
+    def _finalize_completed_apps(self, now: float) -> None:
+        for app in self.submission_order:
+            if app.state is ApplicationState.FINISHED:
+                continue
+            if self.oom_retry_gb.get(app.name, 0.0) > 1e-9:
+                continue
+            if app.is_complete():
+                # Account for the fixed startup cost once, at completion;
+                # it is small relative to execution time.
+                app.mark_finished(now + self.specs[app.name].startup_min)
+                self.events.record(app.finish_time, EventKind.APP_FINISHED,
+                                   app=app.name)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, jobs: list[Job]) -> SimulationResult:
+        """Simulate the given job mix to completion and return the result."""
+        if not jobs:
+            raise ValueError("cannot simulate an empty job mix")
+        self._utilization: dict[int, list[float]] = {
+            node.node_id: [] for node in self.cluster.nodes
+        }
+        utilization_times: list[float] = []
+        self._submit(jobs)
+        context = SchedulingContext(self)
+
+        now = 0.0
+        while now < self.max_time_min:
+            context.now = now
+            self._rerun_oom_data_in_isolation(context)
+            self.scheduler.schedule(context)
+            if self.record_utilization:
+                utilization_times.append(now)
+            self._advance_executors(now)
+            now += self.time_step_min
+            self._finalize_completed_apps(now)
+            if all(app.state is ApplicationState.FINISHED
+                   for app in self.submission_order):
+                break
+
+        makespan = max(
+            (app.finish_time for app in self.submission_order
+             if app.finish_time is not None),
+            default=now,
+        )
+        return SimulationResult(
+            apps=dict(self.apps),
+            events=self.events,
+            makespan_min=float(makespan),
+            utilization_times=utilization_times,
+            utilization_trace=self._utilization if self.record_utilization else {},
+        )

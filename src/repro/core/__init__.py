@@ -1,0 +1,52 @@
+"""The paper's core contribution: mixture-of-experts memory modelling.
+
+The package is organised exactly like Section 3 of the paper:
+
+* :mod:`repro.core.memory_functions` — the memory-function families
+  ("experts", Table 1) and the offline procedure that finds the family best
+  describing a program's observed footprint curve;
+* :mod:`repro.core.feature_pipeline` — feature scaling, PCA reduction and
+  the Varimax-based importance analysis (Section 3.2, Figure 4);
+* :mod:`repro.core.expert_selector` — the KNN expert selector and its
+  distance-based confidence signal (Sections 3 and 4.1);
+* :mod:`repro.core.calibration` — runtime two-point calibration of the
+  selected function (Section 4.1, "Model Calibration");
+* :mod:`repro.core.training` — offline training-data collection and the
+  leave-one-out protocol (Sections 3.3 and 5.2);
+* :mod:`repro.core.moe` — the :class:`~repro.core.moe.MixtureOfExperts`
+  facade tying everything together for runtime deployment.
+"""
+
+from repro.core.memory_functions import (
+    MEMORY_FUNCTION_FAMILIES,
+    MemoryFunction,
+    fit_best_family,
+    make_memory_function,
+)
+from repro.core.feature_pipeline import FeaturePipeline
+from repro.core.expert_selector import ExpertSelector, SelectorPrediction
+from repro.core.calibration import calibrate_memory_function
+from repro.core.training import (
+    TrainingDataset,
+    TrainingExample,
+    collect_training_data,
+    leave_one_out_training_set,
+)
+from repro.core.moe import MemoryPrediction, MixtureOfExperts
+
+__all__ = [
+    "MEMORY_FUNCTION_FAMILIES",
+    "MemoryFunction",
+    "fit_best_family",
+    "make_memory_function",
+    "FeaturePipeline",
+    "ExpertSelector",
+    "SelectorPrediction",
+    "calibrate_memory_function",
+    "TrainingDataset",
+    "TrainingExample",
+    "collect_training_data",
+    "leave_one_out_training_set",
+    "MemoryPrediction",
+    "MixtureOfExperts",
+]

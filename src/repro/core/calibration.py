@@ -1,0 +1,50 @@
+"""Runtime model calibration (Section 4.1, "Model Calibration").
+
+Once the expert selector has chosen a memory-function family, its two
+coefficients are instantiated from exactly two profiling measurements: the
+memory footprints observed while running the application on two small,
+different-sized portions of its input (the paper uses 5 % and 10 % of the
+input items).  Solving the function equation for the two unknowns gives the
+calibrated memory function used by the dispatcher.
+"""
+
+from __future__ import annotations
+
+from repro.core.memory_functions import MemoryFunction, make_memory_function
+from repro.profiling.profiler import CalibrationMeasurement
+
+__all__ = ["calibrate_memory_function"]
+
+
+def calibrate_memory_function(
+    family: str,
+    measurements: tuple[CalibrationMeasurement, CalibrationMeasurement],
+    min_footprint_gb: float = 0.25,
+) -> MemoryFunction:
+    """Instantiate a memory function's coefficients from two measurements.
+
+    Parameters
+    ----------
+    family:
+        The memory-function family chosen by the expert selector.
+    measurements:
+        The two calibration profiling runs (sample size, observed
+        footprint).  The samples must have distinct sizes.
+    min_footprint_gb:
+        Lower bound applied to the calibrated function's predictions.
+
+    Returns
+    -------
+    MemoryFunction
+        The calibrated function, ready for footprint prediction and
+        budget-to-data inversion.
+    """
+    first, second = measurements
+    if first.sample_gb == second.sample_gb:
+        raise ValueError("calibration measurements must use distinct sample sizes")
+    if first.sample_gb > second.sample_gb:
+        first, second = second, first
+    function = make_memory_function(family, min_footprint_gb=min_footprint_gb)
+    function.model.calibrate(first.sample_gb, first.footprint_gb,
+                             second.sample_gb, second.footprint_gb)
+    return function

@@ -1,0 +1,99 @@
+"""The expert selector (Sections 3 and 4.1).
+
+Given the PCA-reduced runtime features of an incoming application, the
+expert selector predicts which memory-function family should model it.  The
+paper uses a KNN classifier because (a) its accuracy matches the
+alternatives (Table 5) and (b) it needs no retraining when a new memory
+function is added; additionally the distance to the nearest training
+program acts as a confidence estimate, allowing a conservative fallback for
+applications unlike anything seen in training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.knn import KNeighborsClassifier
+
+__all__ = ["SelectorPrediction", "ExpertSelector"]
+
+
+@dataclass(frozen=True)
+class SelectorPrediction:
+    """Outcome of one expert selection."""
+
+    family: str
+    nearest_program: str
+    distance: float
+    confident: bool
+
+
+class ExpertSelector:
+    """KNN-based selection of the memory-function family.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours consulted (the paper uses the nearest one).
+    confidence_radius:
+        Distance beyond which a prediction is flagged as low-confidence;
+        ``None`` derives the radius from the training data (twice the
+        largest nearest-neighbour distance among training programs).
+    """
+
+    def __init__(self, n_neighbors: int = 1,
+                 confidence_radius: float | None = None) -> None:
+        self.n_neighbors = n_neighbors
+        self.confidence_radius = confidence_radius
+        self._knn = KNeighborsClassifier(n_neighbors=n_neighbors)
+        self._program_names: list[str] = []
+        self._fitted = False
+
+    def fit(self, transformed_features: np.ndarray, families: list[str],
+            program_names: list[str]) -> "ExpertSelector":
+        """Memorise the training programs' reduced features and labels."""
+        transformed_features = np.asarray(transformed_features, dtype=float)
+        if len(transformed_features) != len(families) or len(families) != len(program_names):
+            raise ValueError("features, families and program names must align")
+        if len(transformed_features) == 0:
+            raise ValueError("the expert selector needs at least one training program")
+        self._knn.fit(transformed_features, np.asarray(families))
+        self._program_names = list(program_names)
+        if self.confidence_radius is None:
+            self.confidence_radius = self._derive_confidence_radius(transformed_features)
+        self._fitted = True
+        return self
+
+    def _derive_confidence_radius(self, features: np.ndarray) -> float:
+        if len(features) < 2:
+            return float("inf")
+        # Largest nearest-neighbour distance among training programs,
+        # doubled: anything farther than that is "unlike the training set".
+        distances = []
+        for i in range(len(features)):
+            others = np.delete(features, i, axis=0)
+            distances.append(np.min(np.linalg.norm(others - features[i], axis=1)))
+        return float(2.0 * max(distances))
+
+    def predict(self, transformed_features: np.ndarray) -> list[SelectorPrediction]:
+        """Predict the family (and confidence) for each query program."""
+        if not self._fitted:
+            raise RuntimeError("ExpertSelector must be fitted before predicting")
+        transformed_features = np.atleast_2d(np.asarray(transformed_features, dtype=float))
+        labels, distances = self._knn.predict_with_confidence(transformed_features)
+        _, neighbor_indices = self._knn.kneighbors(transformed_features)
+        predictions = []
+        for label, distance, indices in zip(labels, distances, neighbor_indices):
+            predictions.append(SelectorPrediction(
+                family=str(label),
+                nearest_program=self._program_names[int(indices[0])],
+                distance=float(distance),
+                confident=float(distance) <= self.confidence_radius,
+            ))
+        return predictions
+
+    def predict_one(self, transformed_features: np.ndarray) -> SelectorPrediction:
+        """Predict the family for a single query program."""
+        return self.predict(transformed_features)[0]

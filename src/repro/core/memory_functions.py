@@ -1,0 +1,164 @@
+"""Memory-function experts (paper Table 1).
+
+A *memory function* maps the amount of input data cached by a Spark
+executor to the executor's memory footprint.  The paper uses three
+two-parameter regression families and automatically discovers, offline,
+which family best describes each training program; at runtime the expert
+selector picks a family for an unseen program and two profiling runs
+instantiate its coefficients.
+
+New families can be added by registering another entry in
+:data:`MEMORY_FUNCTION_FAMILIES` — the rest of the framework picks them up
+automatically, which is the extensibility property the paper emphasises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.regression import (
+    ExponentialSaturationRegression,
+    NapierianLogRegression,
+    PowerLawRegression,
+    RegressionModel,
+)
+
+__all__ = [
+    "MemoryFunction",
+    "MEMORY_FUNCTION_FAMILIES",
+    "make_memory_function",
+    "fit_best_family",
+]
+
+
+@dataclass
+class MemoryFunction:
+    """A named memory-function expert wrapping a regression model.
+
+    Parameters
+    ----------
+    family:
+        Family label, e.g. ``"exponential"``; one of
+        :data:`MEMORY_FUNCTION_FAMILIES`.
+    model:
+        The underlying two-parameter regression model.
+    min_footprint_gb:
+        Lower bound applied to predictions — even an executor that caches
+        no data needs heap for the JVM and Spark runtime structures.
+    """
+
+    family: str
+    model: RegressionModel
+    min_footprint_gb: float = 0.25
+
+    @property
+    def coefficients(self) -> tuple[float, float]:
+        """The fitted ``(m, b)`` coefficients of the underlying model."""
+        if self.model.m is None or self.model.b is None:
+            raise RuntimeError("memory function has not been fitted/calibrated")
+        return float(self.model.m), float(self.model.b)
+
+    def predict_footprint_gb(self, data_gb) -> np.ndarray | float:
+        """Predicted executor footprint for the given cached data size(s)."""
+        predictions = self.model.predict(np.asarray(data_gb, dtype=float))
+        bounded = np.maximum(predictions, self.min_footprint_gb)
+        if np.isscalar(data_gb) or np.ndim(data_gb) == 0:
+            return float(bounded)
+        return bounded
+
+    def data_for_budget_gb(self, budget_gb: float, max_gb: float = 1e6) -> float:
+        """Largest data size whose *predicted* footprint fits ``budget_gb``.
+
+        The dispatcher uses this inverse to decide how many unprocessed
+        data items can be given to an executor under a memory budget
+        (Section 4.3).  All families are monotone non-decreasing, so a
+        binary search suffices.
+        """
+        if budget_gb <= 0:
+            return 0.0
+        if self.predict_footprint_gb(1e-6) > budget_gb:
+            return 0.0
+        lo, hi = 0.0, max_gb
+        if self.predict_footprint_gb(hi) <= budget_gb:
+            return hi
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.predict_footprint_gb(mid) <= budget_gb:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def error_on(self, data_gb, footprints_gb) -> float:
+        """Root-mean-squared error of this function on observed samples."""
+        predictions = np.asarray(self.predict_footprint_gb(np.asarray(data_gb)))
+        return float(np.sqrt(np.mean((predictions - np.asarray(footprints_gb)) ** 2)))
+
+    def relative_error_on(self, data_gb, footprints_gb) -> float:
+        """Root-mean-squared *relative* error on observed samples.
+
+        Used to pick the best-fitting family during offline training:
+        relative error weighs the small-input region as heavily as the
+        large-input region, which separates families whose absolute errors
+        are dominated by the largest samples.
+        """
+        predictions = np.asarray(self.predict_footprint_gb(np.asarray(data_gb)))
+        observed = np.asarray(footprints_gb, dtype=float)
+        if np.any(observed <= 0):
+            raise ValueError("observed footprints must be positive")
+        return float(np.sqrt(np.mean(((predictions - observed) / observed) ** 2)))
+
+
+#: Registry of the available expert families (Table 1).  The paper's
+#: "(piecewise) linear regression" is written there as ``y = m * x^b``,
+#: i.e. the power-law form, which degenerates to a straight line for b = 1.
+MEMORY_FUNCTION_FAMILIES: dict[str, type[RegressionModel]] = {
+    "power_law": PowerLawRegression,
+    "exponential": ExponentialSaturationRegression,
+    "napierian_log": NapierianLogRegression,
+}
+
+
+def make_memory_function(family: str, min_footprint_gb: float = 0.25) -> MemoryFunction:
+    """Instantiate an (unfitted) memory function of the given family."""
+    try:
+        model_cls = MEMORY_FUNCTION_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown memory-function family {family!r}; "
+            f"known families: {sorted(MEMORY_FUNCTION_FAMILIES)}"
+        ) from None
+    return MemoryFunction(family=family, model=model_cls(),
+                          min_footprint_gb=min_footprint_gb)
+
+
+def fit_best_family(data_gb, footprints_gb,
+                    min_footprint_gb: float = 0.25) -> MemoryFunction:
+    """Fit every family to the observed curve and return the best one.
+
+    This is the offline model-fitting step of the training process
+    (Figure 2, step 3): for each training program the framework tries each
+    modelling technique and records the one with the lowest error.
+    """
+    data = np.asarray(data_gb, dtype=float)
+    footprints = np.asarray(footprints_gb, dtype=float)
+    if data.shape != footprints.shape:
+        raise ValueError("data and footprint arrays must have the same shape")
+    if data.size < 3:
+        raise ValueError("fitting a memory function needs at least three samples")
+    best: MemoryFunction | None = None
+    best_error = float("inf")
+    for family in MEMORY_FUNCTION_FAMILIES:
+        candidate = make_memory_function(family, min_footprint_gb)
+        try:
+            candidate.model.fit(data, footprints)
+        except (ValueError, FloatingPointError):
+            continue
+        error = candidate.relative_error_on(data, footprints)
+        if error < best_error:
+            best, best_error = candidate, error
+    if best is None:
+        raise ValueError("no memory-function family could fit the observations")
+    return best

@@ -1,0 +1,33 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each module exposes a ``run(...)`` function returning a plain result object
+and a ``format_*`` helper that renders the same rows/series the paper
+reports.  Absolute numbers differ from the paper (the substrate is a
+simulator, not the authors' 40-node testbed), but the orderings and rough
+factors are expected to hold; ``EXPERIMENTS.md`` records paper-vs-measured
+values for every experiment.
+
+| Paper artefact | Module |
+|----------------|--------|
+| Table 1        | ``repro.core.memory_functions`` (definition) |
+| Figure 3       | :mod:`repro.experiments.fig3_memory_curves` |
+| Figure 4 / Table 2 | :mod:`repro.experiments.fig4_pca` |
+| Table 3 / Table 4  | :mod:`repro.workloads.mixes` (definitions) |
+| Figure 6       | :mod:`repro.experiments.fig6_overall` |
+| Figures 7, 8   | :mod:`repro.experiments.fig7_8_utilization` |
+| Figure 9       | :mod:`repro.experiments.fig9_unified` |
+| Figure 10      | :mod:`repro.experiments.fig10_online_search` |
+| Figures 11, 12 | :mod:`repro.experiments.fig11_12_overhead` |
+| Figure 13      | :mod:`repro.experiments.fig13_cpu_load` |
+| Figure 14      | :mod:`repro.experiments.fig14_interference` |
+| Figure 15      | :mod:`repro.experiments.fig15_parsec` |
+| Figure 16      | :mod:`repro.experiments.fig16_clusters` |
+| Figure 17      | :mod:`repro.experiments.fig17_accuracy` |
+| Figure 18      | :mod:`repro.experiments.fig18_curves` |
+| Table 5        | :mod:`repro.experiments.table5_classifiers` |
+| Headline numbers | :mod:`repro.experiments.headline` |
+"""
+
+from repro.experiments.common import SchedulerSuite, ScenarioResult, run_scenarios
+
+__all__ = ["SchedulerSuite", "ScenarioResult", "run_scenarios"]

@@ -1,0 +1,147 @@
+"""Command-line entry point to regenerate the paper's tables and figures.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli fig6 fig17 table5
+    python -m repro.experiments.cli all --quick
+
+Every experiment prints the same rows/series as the corresponding paper
+artefact; ``--quick`` shrinks the simulation grids so the full set finishes
+in a few minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    fig3_memory_curves,
+    fig4_pca,
+    fig6_overall,
+    fig7_8_utilization,
+    fig9_unified,
+    fig10_online_search,
+    fig11_12_overhead,
+    fig13_cpu_load,
+    fig14_interference,
+    fig15_parsec,
+    fig16_clusters,
+    fig17_accuracy,
+    fig18_curves,
+    headline,
+    table5_classifiers,
+)
+from repro.experiments.common import SchedulerSuite
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_fig6(suite, quick):
+    scenarios = ("L1", "L3", "L5", "L8", "L10") if quick else tuple(
+        f"L{i}" for i in range(1, 11))
+    results = fig6_overall.run(scenarios=scenarios, n_mixes=2 if quick else 5,
+                               suite=suite)
+    print(fig6_overall.format_table(results))
+    print(headline.format_table(headline.summarize(results)))
+
+
+def _run_fig9(suite, quick):
+    scenarios = ("L3", "L5", "L8") if quick else tuple(f"L{i}" for i in range(1, 11))
+    print(fig9_unified.format_table(
+        fig9_unified.run(scenarios=scenarios, n_mixes=1 if quick else 3,
+                         suite=suite)))
+
+
+def _run_fig10(suite, quick):
+    scenarios = ("L3", "L5") if quick else tuple(f"L{i}" for i in range(1, 11))
+    print(fig10_online_search.format_table(
+        fig10_online_search.run(scenarios=scenarios, n_mixes=1 if quick else 3,
+                                suite=suite)))
+
+
+def _run_fig11_12(suite, quick):
+    scenarios = ("L1", "L5") if quick else ("L1", "L3", "L5", "L8", "L10")
+    per_scenario = fig11_12_overhead.run_per_scenario(scenarios=scenarios,
+                                                      n_mixes=1, suite=suite)
+    per_benchmark = fig11_12_overhead.run_per_benchmark()
+    print(fig11_12_overhead.format_table(per_scenario, per_benchmark))
+
+
+def _run_fig14(suite, quick):
+    kwargs = {"co_runners_per_target": 4} if quick else {"co_runners_per_target": 10}
+    print(fig14_interference.format_table(
+        fig14_interference.run(suite=suite, **kwargs)))
+
+
+#: Experiment name -> (description, runner taking (suite, quick)).
+EXPERIMENTS = {
+    "fig3": ("Figure 3 — Sort/PageRank memory curves",
+             lambda suite, quick: print(fig3_memory_curves.format_table(
+                 fig3_memory_curves.run(moe=suite.moe)))),
+    "fig4": ("Figure 4 / Table 2 — PCA variance and feature importance",
+             lambda suite, quick: print(fig4_pca.format_table(
+                 fig4_pca.run(dataset=suite.dataset)))),
+    "fig6": ("Figure 6 — STP/ANTT for Pairwise, Quasar, ours, Oracle", _run_fig6),
+    "fig7": ("Figures 7/8 — Table 4 mix utilisation and turnaround",
+             lambda suite, quick: print(fig7_8_utilization.format_table(
+                 fig7_8_utilization.run(suite=suite)))),
+    "fig9": ("Figure 9 — unified single-model comparison", _run_fig9),
+    "fig10": ("Figure 10 — online-search comparison", _run_fig10),
+    "fig11": ("Figures 11/12 — profiling overhead", _run_fig11_12),
+    "fig13": ("Figure 13 — CPU load distribution",
+              lambda suite, quick: print(fig13_cpu_load.format_table(
+                  fig13_cpu_load.run()))),
+    "fig14": ("Figure 14 — Spark co-location interference", _run_fig14),
+    "fig15": ("Figure 15 — PARSEC co-location interference",
+              lambda suite, quick: print(fig15_parsec.format_table(
+                  fig15_parsec.run()))),
+    "fig16": ("Figure 16 — feature-space clusters",
+              lambda suite, quick: print(fig16_clusters.format_table(
+                  fig16_clusters.run(moe=suite.moe)))),
+    "fig17": ("Figure 17 — prediction accuracy",
+              lambda suite, quick: print(fig17_accuracy.format_table(
+                  fig17_accuracy.run(moe=suite.moe)))),
+    "fig18": ("Figure 18 — per-benchmark memory curves",
+              lambda suite, quick: print(fig18_curves.format_table(
+                  fig18_curves.run(moe=suite.moe)))),
+    "table5": ("Table 5 — classifier comparison",
+               lambda suite, quick: print(table5_classifiers.format_table(
+                   table5_classifiers.run(dataset=suite.dataset)))),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.experiments.cli``."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (see --list), or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--quick", action="store_true",
+                        help="use reduced simulation grids")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"  {name:8s} {description}")
+        return 0
+
+    requested = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    suite = SchedulerSuite()
+    for name in requested:
+        description, runner = EXPERIMENTS[name]
+        print(f"\n=== {name}: {description} ===")
+        runner(suite, args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Shared infrastructure for the scheduling experiments.
+
+The comparative experiments (Figures 6–10) all follow the same recipe: for
+each runtime scenario of Table 3, draw a number of random application
+mixes, simulate every scheduling scheme on each mix, and aggregate STP
+(geometric mean, as in Section 5.2) and ANTT reduction.  This module
+provides that recipe once so the per-figure drivers stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.simulator import ClusterSimulator
+from repro.core.moe import MixtureOfExperts
+from repro.core.training import TrainingDataset, collect_training_data
+from repro.metrics.throughput import ScheduleEvaluation, evaluate_schedule
+from repro.ml.metrics import geometric_mean
+from repro.scheduling import (
+    IsolatedScheduler,
+    OnlineSearchScheduler,
+    PairwiseScheduler,
+    make_moe_scheduler,
+    make_oracle_scheduler,
+    make_quasar_scheduler,
+    make_unified_scheduler,
+)
+from repro.workloads.mixes import Job, make_scenario_mixes
+
+__all__ = ["SchedulerSuite", "ScenarioResult", "run_scenarios", "DEFAULT_SCENARIOS"]
+
+#: Scenario labels used by default (all of Table 3).
+DEFAULT_SCENARIOS: tuple[str, ...] = ("L1", "L2", "L3", "L4", "L5",
+                                      "L6", "L7", "L8", "L9", "L10")
+
+
+@dataclass
+class SchedulerSuite:
+    """Lazily constructed scheduler factories sharing one trained predictor.
+
+    Training the mixture of experts and the comparison models once and
+    sharing them across every simulated mix mirrors the paper's one-off
+    offline training cost (Section 3.3) and keeps the experiment grid fast.
+    """
+
+    dataset: TrainingDataset = field(default_factory=collect_training_data)
+    moe: MixtureOfExperts | None = None
+
+    def __post_init__(self) -> None:
+        if self.moe is None:
+            self.moe = MixtureOfExperts.from_dataset(self.dataset)
+
+    def factory(self, scheme: str):
+        """Return a zero-argument factory building a fresh scheduler."""
+        if scheme == "isolated":
+            return IsolatedScheduler
+        if scheme == "pairwise":
+            return PairwiseScheduler
+        if scheme == "online_search":
+            return OnlineSearchScheduler
+        if scheme == "quasar":
+            return lambda: make_quasar_scheduler(dataset=self.dataset)
+        if scheme == "ours":
+            return lambda: make_moe_scheduler(moe=self.moe)
+        if scheme == "oracle":
+            return make_oracle_scheduler
+        if scheme == "unified_ann":
+            return lambda: make_unified_scheduler("ann", dataset=self.dataset)
+        if scheme in ("unified_power_law", "unified_exponential",
+                      "unified_napierian_log"):
+            family = scheme.replace("unified_", "")
+            return lambda: make_unified_scheduler(family)
+        raise KeyError(f"unknown scheduling scheme {scheme!r}")
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregated metrics of one scheme on one scenario."""
+
+    scheme: str
+    scenario: str
+    stp_geomean: float
+    stp_min: float
+    stp_max: float
+    antt_reduction_mean: float
+    makespan_mean_min: float
+    utilization_mean_percent: float
+
+
+def _simulate(factory, jobs: list[Job], time_step_min: float,
+              seed: int) -> ScheduleEvaluation:
+    simulator = ClusterSimulator(paper_cluster(), factory(),
+                                 time_step_min=time_step_min, seed=seed)
+    result = simulator.run(jobs)
+    return evaluate_schedule(result, jobs)
+
+
+def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
+                  seed: int = 11, time_step_min: float = 0.5,
+                  suite: SchedulerSuite | None = None) -> list[ScenarioResult]:
+    """Run the full scenario × mix × scheme grid and aggregate per scenario.
+
+    Parameters
+    ----------
+    schemes:
+        Scheme names understood by :meth:`SchedulerSuite.factory`.
+    scenarios:
+        Table 3 scenario labels to evaluate.
+    n_mixes:
+        Random mixes per scenario (the paper uses ~100; the default keeps
+        the grid laptop-sized and can be raised for higher fidelity).
+    seed:
+        Seed for mix generation and the simulators.
+    suite:
+        Shared scheduler suite; a fresh one is trained when omitted.
+    """
+    suite = suite or SchedulerSuite()
+    results: list[ScenarioResult] = []
+    for scenario in scenarios:
+        mixes = make_scenario_mixes(scenario, n_mixes=n_mixes, seed=seed)
+        for scheme in schemes:
+            factory = suite.factory(scheme)
+            evaluations = [
+                _simulate(factory, mix, time_step_min, seed) for mix in mixes
+            ]
+            results.append(ScenarioResult(
+                scheme=scheme,
+                scenario=scenario,
+                stp_geomean=geometric_mean([e.stp for e in evaluations]),
+                stp_min=min(e.stp for e in evaluations),
+                stp_max=max(e.stp for e in evaluations),
+                antt_reduction_mean=float(np.mean(
+                    [e.antt_reduction_percent for e in evaluations])),
+                makespan_mean_min=float(np.mean(
+                    [e.makespan_min for e in evaluations])),
+                utilization_mean_percent=float(np.mean(
+                    [e.mean_utilization_percent for e in evaluations])),
+            ))
+    return results
+
+
+def overall_geomean(results: list[ScenarioResult], scheme: str,
+                    metric: str = "stp_geomean") -> float:
+    """Geometric mean of a metric across scenarios for one scheme."""
+    values = [getattr(r, metric) for r in results if r.scheme == scheme]
+    if not values:
+        raise KeyError(f"no results recorded for scheme {scheme!r}")
+    if metric == "antt_reduction_mean":
+        return float(np.mean(values))
+    return geometric_mean(values)

@@ -1,0 +1,61 @@
+"""Figure 13: distribution of CPU load when benchmarks run in isolation.
+
+The paper's motivation for co-location is that most of the 44 benchmarks
+use well under 40 % of the CPU when given a host exclusively; this driver
+measures the isolated CPU load of each benchmark through the profiler and
+reports the same histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.profiling.profiler import Profiler
+from repro.workloads.suites import ALL_BENCHMARKS
+
+__all__ = ["CpuLoadHistogram", "run", "format_table"]
+
+#: Histogram bin edges in percent, as in Figure 13.
+BIN_EDGES_PERCENT = (0, 10, 20, 30, 40, 50, 60)
+
+
+@dataclass(frozen=True)
+class CpuLoadHistogram:
+    """Measured isolated CPU loads and their Figure 13 histogram."""
+
+    loads_percent: dict[str, float]
+    bin_edges_percent: tuple[int, ...]
+    counts: tuple[int, ...]
+
+    @property
+    def fraction_below_40_percent(self) -> float:
+        """Fraction of benchmarks whose isolated CPU load is below 40 %."""
+        loads = np.asarray(list(self.loads_percent.values()))
+        return float(np.mean(loads < 40.0))
+
+
+def run(seed: int = 0) -> CpuLoadHistogram:
+    """Measure the isolated CPU load of all 44 benchmarks."""
+    profiler = Profiler(seed=seed)
+    loads = {spec.name: profiler.measure_cpu_load(spec) * 100.0
+             for spec in ALL_BENCHMARKS}
+    counts, _ = np.histogram(list(loads.values()), bins=BIN_EDGES_PERCENT)
+    return CpuLoadHistogram(
+        loads_percent=loads,
+        bin_edges_percent=BIN_EDGES_PERCENT,
+        counts=tuple(int(c) for c in counts),
+    )
+
+
+def format_table(histogram: CpuLoadHistogram) -> str:
+    """Render the Figure 13 histogram."""
+    lines = ["Figure 13 — CPU load distribution in isolation mode:"]
+    edges = histogram.bin_edges_percent
+    for (low, high), count in zip(zip(edges[:-1], edges[1:]), histogram.counts):
+        bar = "#" * count
+        lines.append(f"  {low:2d}-{high:2d}%: {count:2d} {bar}")
+    lines.append(f"  below 40%: {histogram.fraction_below_40_percent * 100:.0f}% "
+                 "of benchmarks")
+    return "\n".join(lines)

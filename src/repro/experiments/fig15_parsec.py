@@ -1,0 +1,66 @@
+"""Figure 15: slowdown of PARSEC benchmarks co-located with Spark tasks.
+
+Computation-intensive PARSEC applications are run together with each of the
+44 Spark benchmarks under the memory-aware co-location scheme; the paper
+reports slowdowns below ~30 %, mostly below 20 %.  PARSEC binaries are not
+available offline, so the slowdown of each pair is computed by the
+interference model described in :mod:`repro.metrics.slowdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.simulator import InterferenceModel
+from repro.metrics.slowdown import parsec_colocation_slowdown_percent
+from repro.workloads.parsec import PARSEC_BENCHMARKS
+from repro.workloads.suites import ALL_BENCHMARKS
+
+__all__ = ["ParsecSlowdown", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class ParsecSlowdown:
+    """Slowdown distribution of one PARSEC benchmark across Spark co-runners."""
+
+    parsec: str
+    slowdowns_percent: tuple[float, ...]
+
+    @property
+    def median(self) -> float:
+        """Median slowdown in percent."""
+        return float(np.median(self.slowdowns_percent))
+
+    @property
+    def maximum(self) -> float:
+        """Worst-case slowdown in percent."""
+        return float(np.max(self.slowdowns_percent))
+
+
+def run(interference: InterferenceModel | None = None) -> list[ParsecSlowdown]:
+    """Compute the slowdown of every PARSEC × Spark pairing."""
+    interference = interference or InterferenceModel()
+    results = []
+    for parsec in PARSEC_BENCHMARKS:
+        slowdowns = [
+            parsec_colocation_slowdown_percent(parsec, spark, interference)
+            for spark in ALL_BENCHMARKS
+        ]
+        results.append(ParsecSlowdown(
+            parsec=parsec.name,
+            slowdowns_percent=tuple(float(s) for s in slowdowns),
+        ))
+    return results
+
+
+def format_table(results: list[ParsecSlowdown]) -> str:
+    """Render per-PARSEC slowdown summaries, like Figure 15."""
+    lines = ["Figure 15 — slowdown of PARSEC benchmarks co-located with Spark:"]
+    lines.append(f"{'benchmark':>15s} {'median %':>9s} {'max %':>7s}")
+    for row in results:
+        lines.append(f"{row.parsec:>15s} {row.median:9.1f} {row.maximum:7.1f}")
+    overall = np.concatenate([r.slowdowns_percent for r in results])
+    lines.append(f"overall: mean {overall.mean():.1f}%, max {overall.max():.1f}%")
+    return "\n".join(lines)

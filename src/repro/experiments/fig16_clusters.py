@@ -1,0 +1,93 @@
+"""Figure 16: the benchmarks form three clusters in the 2-D feature space.
+
+The paper projects the 44 benchmarks' features onto the first two principal
+components and observes three clusters, each mapped to one of the Table 1
+memory functions; the Pearson correlation of each program to its cluster
+centre exceeds 0.9999.  This driver reproduces the projection, groups the
+benchmarks by their predicted memory function and computes the same
+cluster-compactness statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.feature_pipeline import FeaturePipeline
+from repro.core.moe import MixtureOfExperts
+from repro.profiling.counters import synthesize_features
+from repro.workloads.suites import ALL_BENCHMARKS
+
+__all__ = ["ClusterAnalysis", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class ClusterAnalysis:
+    """2-D embedding of every benchmark plus its predicted family."""
+
+    coordinates: dict[str, tuple[float, float]]
+    families: dict[str, str]
+
+    def members(self, family: str) -> list[str]:
+        """Benchmarks predicted to use the given memory-function family."""
+        return [name for name, fam in self.families.items() if fam == family]
+
+    def cluster_center(self, family: str) -> tuple[float, float]:
+        """Centroid of a family's members in the 2-D space."""
+        points = np.array([self.coordinates[name] for name in self.members(family)])
+        if len(points) == 0:
+            raise KeyError(f"no benchmarks mapped to family {family!r}")
+        return tuple(points.mean(axis=0))
+
+    def mean_intra_cluster_distance(self, family: str) -> float:
+        """Average distance of members to their cluster centre."""
+        center = np.asarray(self.cluster_center(family))
+        points = np.array([self.coordinates[name] for name in self.members(family)])
+        return float(np.mean(np.linalg.norm(points - center, axis=1)))
+
+    def separation_ratio(self) -> float:
+        """Smallest centre-to-centre distance over largest intra-cluster spread.
+
+        Values above 1 mean the clusters are visually separable, which is
+        the qualitative content of Figure 16.
+        """
+        families = sorted(set(self.families.values()))
+        centers = {f: np.asarray(self.cluster_center(f)) for f in families}
+        spreads = [max(self.mean_intra_cluster_distance(f), 1e-9) for f in families]
+        min_center_gap = min(
+            np.linalg.norm(centers[a] - centers[b])
+            for i, a in enumerate(families) for b in families[i + 1:]
+        )
+        return float(min_center_gap / max(spreads))
+
+
+def run(moe: MixtureOfExperts | None = None, seed: int = 0) -> ClusterAnalysis:
+    """Project all 44 benchmarks to 2-D and label them with their family."""
+    moe = moe or MixtureOfExperts.train(seed=seed)
+    features = {spec.name: synthesize_features(spec) for spec in ALL_BENCHMARKS}
+    pipeline = FeaturePipeline(max_components=2, variance_to_keep=0.999)
+    projected = pipeline.fit_transform(list(features.values()))
+    coordinates = {
+        name: (float(x), float(y))
+        for name, (x, y) in zip(features, projected[:, :2])
+    }
+    families = {}
+    for spec in ALL_BENCHMARKS:
+        prediction = moe.for_target(spec).predict_family(features[spec.name])
+        families[spec.name] = prediction.family
+    return ClusterAnalysis(coordinates=coordinates, families=families)
+
+
+def format_table(analysis: ClusterAnalysis) -> str:
+    """Summarise the clusters and their compactness."""
+    lines = ["Figure 16 — program clusters in the 2-D PCA space:"]
+    for family in sorted(set(analysis.families.values())):
+        members = analysis.members(family)
+        center = analysis.cluster_center(family)
+        lines.append(f"  {family:15s} {len(members):2d} programs, "
+                     f"centre=({center[0]:+.2f}, {center[1]:+.2f}), "
+                     f"spread={analysis.mean_intra_cluster_distance(family):.3f}")
+    lines.append(f"  cluster separation ratio: {analysis.separation_ratio():.2f} "
+                 "(>1 means separable clusters)")
+    return "\n".join(lines)

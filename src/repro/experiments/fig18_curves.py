@@ -1,0 +1,69 @@
+"""Figure 18: predicted vs measured memory curves for all training programs.
+
+The paper plots, for each HiBench/BigDataBench benchmark, the measured
+memory footprint against the footprint predicted by its calibrated memory
+function over input sizes spanning several orders of magnitude, showing
+that the per-family functions track the measurements closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.moe import MixtureOfExperts
+from repro.profiling.profiler import Profiler
+from repro.workloads.suites import TRAINING_BENCHMARKS
+
+__all__ = ["BenchmarkCurve", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class BenchmarkCurve:
+    """Measured and predicted footprint curve of one benchmark."""
+
+    benchmark: str
+    family: str
+    sizes_gb: tuple[float, ...]
+    measured_gb: tuple[float, ...]
+    predicted_gb: tuple[float, ...]
+
+    @property
+    def mean_relative_error_percent(self) -> float:
+        """Mean relative error of the predicted curve."""
+        measured = np.asarray(self.measured_gb)
+        predicted = np.asarray(self.predicted_gb)
+        return float(np.mean(np.abs(predicted - measured) / measured) * 100.0)
+
+
+def run(moe: MixtureOfExperts | None = None, seed: int = 5,
+        n_points: int = 8) -> list[BenchmarkCurve]:
+    """Reproduce the Figure 18 panels (one curve per training benchmark)."""
+    moe = moe or MixtureOfExperts.train(seed=seed)
+    profiler = Profiler(seed=seed)
+    sizes = np.logspace(np.log10(0.5), np.log10(60.0), n_points)
+    curves = []
+    for spec in TRAINING_BENCHMARKS:
+        report = profiler.profile(spec.name, spec, input_gb=280.0)
+        prediction = moe.for_target(spec).predict_from_report(report)
+        measured = [spec.true_footprint_gb(s) for s in sizes]
+        predicted = [prediction.footprint_gb(s) for s in sizes]
+        curves.append(BenchmarkCurve(
+            benchmark=spec.name,
+            family=prediction.family,
+            sizes_gb=tuple(float(s) for s in sizes),
+            measured_gb=tuple(float(v) for v in measured),
+            predicted_gb=tuple(float(v) for v in predicted),
+        ))
+    return curves
+
+
+def format_table(curves: list[BenchmarkCurve]) -> str:
+    """Render one row per benchmark with its curve error."""
+    lines = ["Figure 18 — predicted vs measured memory curves:"]
+    lines.append(f"{'benchmark':>18s} {'family':>15s} {'mean rel. error %':>18s}")
+    for curve in curves:
+        lines.append(f"{curve.benchmark:>18s} {curve.family:>15s} "
+                     f"{curve.mean_relative_error_percent:18.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Figure 3: observed vs predicted memory footprints for Sort and PageRank.
+
+The paper shows that HiBench Sort is captured by the exponential family
+(``m = 5.768, b = 4.479``) and PageRank by the Napierian-log family
+(``m = 16.333, b = 1.79``).  This driver profiles both applications,
+predicts their memory function through the trained mixture of experts and
+reports the observed and predicted footprints over a range of input sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.moe import MixtureOfExperts
+from repro.profiling.profiler import Profiler
+from repro.workloads.suites import benchmark_by_name
+
+__all__ = ["MemoryCurve", "run", "format_table"]
+
+#: The two applications shown in Figure 3.
+FIGURE3_BENCHMARKS = ("HB.Sort", "HB.PageRank")
+
+
+@dataclass(frozen=True)
+class MemoryCurve:
+    """Observed and predicted footprints of one benchmark."""
+
+    benchmark: str
+    family: str
+    coefficients: tuple[float, float]
+    sizes_gb: tuple[float, ...]
+    observed_gb: tuple[float, ...]
+    predicted_gb: tuple[float, ...]
+
+    def max_relative_error(self) -> float:
+        """Largest relative prediction error across the profiled sizes."""
+        observed = np.asarray(self.observed_gb)
+        predicted = np.asarray(self.predicted_gb)
+        return float(np.max(np.abs(predicted - observed) / observed))
+
+
+def run(moe: MixtureOfExperts | None = None, seed: int = 0,
+        n_points: int = 10) -> list[MemoryCurve]:
+    """Reproduce the two panels of Figure 3."""
+    moe = moe or MixtureOfExperts.train(seed=seed)
+    profiler = Profiler(seed=seed)
+    rng = np.random.default_rng(seed)
+    sizes = np.logspace(np.log10(0.5), np.log10(60.0), n_points)
+    curves = []
+    for name in FIGURE3_BENCHMARKS:
+        spec = benchmark_by_name(name)
+        report = profiler.profile(name, spec, input_gb=1000.0)
+        prediction = moe.for_target(spec).predict_from_report(report)
+        observed = [spec.observed_footprint_gb(s, rng=rng, noise=0.02)
+                    for s in sizes]
+        predicted = [prediction.footprint_gb(s) for s in sizes]
+        curves.append(MemoryCurve(
+            benchmark=name,
+            family=prediction.family,
+            coefficients=prediction.function.coefficients,
+            sizes_gb=tuple(float(s) for s in sizes),
+            observed_gb=tuple(float(o) for o in observed),
+            predicted_gb=tuple(float(p) for p in predicted),
+        ))
+    return curves
+
+
+def format_table(curves: list[MemoryCurve]) -> str:
+    """Render the observed/predicted series as a plain-text table."""
+    lines = []
+    for curve in curves:
+        m, b = curve.coefficients
+        lines.append(f"{curve.benchmark}  family={curve.family}  "
+                     f"m={m:.3f} b={b:.3f}")
+        lines.append(f"{'input (GB)':>12s} {'observed (GB)':>14s} {'predicted (GB)':>15s}")
+        for size, obs, pred in zip(curve.sizes_gb, curve.observed_gb,
+                                   curve.predicted_gb):
+            lines.append(f"{size:12.2f} {obs:14.2f} {pred:15.2f}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Figure 6: overall STP and ANTT of Pairwise, Quasar, our approach and Oracle.
+
+This is the paper's headline comparison: normalized STP (Figure 6a) and
+ANTT reduction (Figure 6b) for every runtime scenario of Table 3, with the
+isolated one-by-one execution as the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_SCENARIOS,
+    ScenarioResult,
+    SchedulerSuite,
+    overall_geomean,
+    run_scenarios,
+)
+
+__all__ = ["SCHEMES", "run", "format_table"]
+
+#: The four schemes shown in Figure 6, plus the baseline for reference.
+SCHEMES: tuple[str, ...] = ("pairwise", "quasar", "ours", "oracle")
+
+
+def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
+        suite: SchedulerSuite | None = None,
+        include_isolated: bool = False) -> list[ScenarioResult]:
+    """Reproduce Figure 6 over the requested scenarios."""
+    schemes = SCHEMES + (("isolated",) if include_isolated else ())
+    return run_scenarios(schemes, scenarios=scenarios, n_mixes=n_mixes,
+                         seed=seed, suite=suite)
+
+
+def format_table(results: list[ScenarioResult]) -> str:
+    """Render STP and ANTT-reduction rows per scenario, like Figure 6."""
+    schemes = sorted({r.scheme for r in results},
+                     key=lambda s: (SCHEMES + ("isolated",)).index(s))
+    scenarios = list(dict.fromkeys(r.scenario for r in results))
+    lines = ["Normalized STP (Figure 6a):"]
+    header = f"{'scenario':>9s} " + " ".join(f"{s:>12s}" for s in schemes)
+    lines.append(header)
+    for scenario in scenarios:
+        row = [f"{scenario:>9s}"]
+        for scheme in schemes:
+            value = next(r.stp_geomean for r in results
+                         if r.scheme == scheme and r.scenario == scenario)
+            row.append(f"{value:12.2f}")
+        lines.append(" ".join(row))
+    lines.append(" ".join(
+        [f"{'geomean':>9s}"] + [f"{overall_geomean(results, s):12.2f}" for s in schemes]
+    ))
+    lines.append("")
+    lines.append("ANTT reduction % (Figure 6b):")
+    lines.append(header)
+    for scenario in scenarios:
+        row = [f"{scenario:>9s}"]
+        for scheme in schemes:
+            value = next(r.antt_reduction_mean for r in results
+                         if r.scheme == scheme and r.scenario == scenario)
+            row.append(f"{value:12.1f}")
+        lines.append(" ".join(row))
+    lines.append(" ".join(
+        [f"{'mean':>9s}"]
+        + [f"{overall_geomean(results, s, 'antt_reduction_mean'):12.1f}" for s in schemes]
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Headline numbers of the paper (Section 6.1).
+
+Aggregates the Figure 6 grid into the quantities the abstract quotes:
+
+* average normalized STP of our approach (paper: 8.69x over isolated);
+* average ANTT reduction (paper: 49 %);
+* fraction of the Oracle performance achieved (paper: 83.9 % STP,
+  93.4 % ANTT);
+* improvement over Quasar (paper: 1.28x STP, 1.68x ANTT) and Pairwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ScenarioResult, overall_geomean
+from repro.experiments import fig6_overall
+
+__all__ = ["HeadlineNumbers", "run", "summarize", "format_table"]
+
+
+@dataclass(frozen=True)
+class HeadlineNumbers:
+    """The abstract-level summary of the evaluation."""
+
+    our_stp: float
+    our_antt_reduction_percent: float
+    fraction_of_oracle_stp: float
+    fraction_of_oracle_antt: float
+    stp_vs_quasar: float
+    stp_vs_pairwise: float
+
+
+def summarize(results: list[ScenarioResult]) -> HeadlineNumbers:
+    """Aggregate a Figure 6 result grid into the headline numbers."""
+    ours_stp = overall_geomean(results, "ours")
+    oracle_stp = overall_geomean(results, "oracle")
+    quasar_stp = overall_geomean(results, "quasar")
+    pairwise_stp = overall_geomean(results, "pairwise")
+    ours_antt = overall_geomean(results, "ours", "antt_reduction_mean")
+    oracle_antt = overall_geomean(results, "oracle", "antt_reduction_mean")
+    return HeadlineNumbers(
+        our_stp=ours_stp,
+        our_antt_reduction_percent=ours_antt,
+        fraction_of_oracle_stp=ours_stp / oracle_stp,
+        fraction_of_oracle_antt=ours_antt / oracle_antt,
+        stp_vs_quasar=ours_stp / quasar_stp,
+        stp_vs_pairwise=ours_stp / pairwise_stp,
+    )
+
+
+def run(scenarios=("L1", "L3", "L5", "L8", "L10"), n_mixes: int = 2,
+        seed: int = 11, suite=None) -> HeadlineNumbers:
+    """Run a reduced Figure 6 grid and summarise it."""
+    results = fig6_overall.run(scenarios=scenarios, n_mixes=n_mixes, seed=seed,
+                               suite=suite)
+    return summarize(results)
+
+
+def format_table(numbers: HeadlineNumbers) -> str:
+    """Render the headline comparison against the paper's numbers."""
+    rows = [
+        ("normalized STP of our approach", f"{numbers.our_stp:.2f}", "8.69"),
+        ("ANTT reduction of our approach",
+         f"{numbers.our_antt_reduction_percent:.1f}%", "49%"),
+        ("fraction of Oracle STP",
+         f"{numbers.fraction_of_oracle_stp * 100:.1f}%", "83.9%"),
+        ("fraction of Oracle ANTT reduction",
+         f"{numbers.fraction_of_oracle_antt * 100:.1f}%", "93.4%"),
+        ("STP improvement over Quasar", f"{numbers.stp_vs_quasar:.2f}x", "1.28x"),
+        ("STP improvement over Pairwise", f"{numbers.stp_vs_pairwise:.2f}x", "~1.7x (large groups)"),
+    ]
+    lines = ["Headline numbers (measured vs paper):"]
+    for name, measured, paper in rows:
+        lines.append(f"  {name:38s} measured={measured:>8s}  paper={paper}")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Co-location slowdown helpers (Figures 14 and 15).
+
+Figure 14 measures how much a target Spark benchmark slows down when the
+scheme co-locates another Spark application on the same host; that
+experiment is driven end to end through the simulator (see
+``repro.experiments.fig14_interference``) and only needs the plain
+percentage-slowdown helper from here.
+
+Figure 15 co-locates computation-intensive PARSEC applications with Spark
+tasks.  PARSEC programs are not Spark applications, so their interference
+is modelled analytically from the same ingredients the simulator uses: the
+scheme's CPU admission rule keeps the aggregate load at or below 100 %, so
+the residual slowdown comes from memory-bandwidth and last-level-cache
+pressure, weighted by how cache sensitive the PARSEC program is.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.simulator import InterferenceModel
+from repro.workloads.benchmark import BenchmarkSpec, MemoryBehavior
+from repro.workloads.parsec import ParsecSpec
+
+__all__ = ["slowdown_percent", "spark_bandwidth_pressure",
+           "parsec_colocation_slowdown_percent"]
+
+
+def slowdown_percent(isolated_min: float, colocated_min: float) -> float:
+    """Percentage slowdown of a co-located run relative to isolation."""
+    if isolated_min <= 0:
+        raise ValueError("isolated_min must be positive")
+    return float(100.0 * (colocated_min - isolated_min) / isolated_min)
+
+
+#: Relative memory-bandwidth pressure exerted by a Spark executor, by
+#: memory-function family: streaming (exponential) and graph (logarithmic)
+#: applications move far more data per unit time than the compute-bound
+#: power-law applications.
+_FAMILY_BANDWIDTH_PRESSURE: dict[MemoryBehavior, float] = {
+    MemoryBehavior.EXPONENTIAL: 0.30,
+    MemoryBehavior.NAPIERIAN_LOG: 0.35,
+    MemoryBehavior.POWER_LAW: 0.18,
+}
+
+
+def spark_bandwidth_pressure(spec: BenchmarkSpec) -> float:
+    """Memory-bandwidth pressure (0..1) of one co-running Spark executor."""
+    base = _FAMILY_BANDWIDTH_PRESSURE[spec.memory_behavior]
+    # CPU-hungrier Spark tasks issue memory traffic at a higher rate.
+    return base * (0.6 + spec.cpu_load)
+
+
+def parsec_colocation_slowdown_percent(
+    parsec: ParsecSpec,
+    spark: BenchmarkSpec,
+    interference: InterferenceModel | None = None,
+) -> float:
+    """Predicted slowdown of a PARSEC benchmark co-located with a Spark task.
+
+    The co-location scheme admits the Spark executor only while the
+    aggregate CPU stays within the node, so the CPU term only captures the
+    residual SMT/scheduling contention of the admitted share; the dominant
+    term is cache/bandwidth interference scaled by the PARSEC program's
+    sensitivity.
+    """
+    interference = interference or InterferenceModel()
+    admitted_spark_cpu = min(spark.cpu_load, max(1.0 - parsec.cpu_load, 0.0))
+    overflow = max(parsec.cpu_load + spark.cpu_load - 1.0, 0.0)
+    # Residual contention from sharing hardware threads with the admitted
+    # executor plus any monitoring-lag overflow.
+    cpu_term = 0.06 * admitted_spark_cpu + 0.5 * overflow * spark.cpu_load
+    bandwidth_term = parsec.memory_sensitivity * spark_bandwidth_pressure(spark)
+    bandwidth_term *= (1.0 - interference.bandwidth_factor(2)) / 0.035
+    slowdown = (cpu_term + bandwidth_term) * 100.0
+    return float(max(slowdown, 0.0))

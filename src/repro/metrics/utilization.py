@@ -1,0 +1,54 @@
+"""Server-utilisation post-processing (Figure 7).
+
+The simulator records one CPU-utilisation sample per node per time step.
+Figure 7 renders this as a nodes × time heat map; these helpers downsample
+the raw traces into a fixed number of time bins so the heat map (and the
+benchmark harness that prints it) stays a manageable size regardless of
+simulation length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.simulator import SimulationResult
+
+__all__ = ["downsample_trace", "utilization_matrix"]
+
+
+def downsample_trace(trace, n_bins: int) -> np.ndarray:
+    """Average a per-step utilisation trace into ``n_bins`` equal time bins."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be at least 1")
+    trace = np.asarray(trace, dtype=float)
+    if trace.size == 0:
+        return np.zeros(n_bins)
+    chunks = np.array_split(trace, n_bins)
+    return np.array([chunk.mean() if chunk.size else 0.0 for chunk in chunks])
+
+
+def utilization_matrix(result: SimulationResult,
+                       n_bins: int = 48) -> tuple[np.ndarray, np.ndarray]:
+    """Build the Figure 7 heat-map data from a simulation result.
+
+    Returns
+    -------
+    (bin_times_min, matrix):
+        ``bin_times_min`` is the representative time of each bin;
+        ``matrix[node, bin]`` is the average CPU utilisation (%) of that
+        node during that bin.
+    """
+    if not result.utilization_trace:
+        raise ValueError("the simulation did not record utilisation traces")
+    node_ids = sorted(result.utilization_trace)
+    matrix = np.vstack([
+        downsample_trace(result.utilization_trace[node_id], n_bins)
+        for node_id in node_ids
+    ])
+    times = np.asarray(result.utilization_times, dtype=float)
+    if times.size:
+        bin_times = np.array([chunk.mean() if chunk.size else 0.0
+                              for chunk in np.array_split(times, n_bins)])
+    else:
+        bin_times = np.zeros(n_bins)
+    return bin_times, matrix

@@ -1,0 +1,71 @@
+"""From-scratch machine-learning substrate used by the reproduction.
+
+The paper relies on standard supervised-learning building blocks (KNN, PCA,
+Varimax rotation, decision trees, random forests, naive Bayes, SVM, and a
+small feed-forward neural network) plus the regression families used as
+memory-function "experts".  scikit-learn is not available in this offline
+environment, so this package implements each algorithm directly on top of
+NumPy.  The implementations favour clarity over raw speed; the data sizes in
+the reproduction (tens of programs, a handful of features) are tiny.
+"""
+
+from repro.ml.scaler import MinMaxScaler, StandardScaler
+from repro.ml.pca import PCA
+from repro.ml.varimax import varimax, feature_contributions
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.svm import LinearSVM
+from repro.ml.mlp import MLPClassifier, MLPRegressor
+from repro.ml.regression import (
+    LinearRegression,
+    PowerLawRegression,
+    ExponentialSaturationRegression,
+    NapierianLogRegression,
+    fit_least_squares,
+)
+from repro.ml.cross_validation import (
+    KFold,
+    LeaveOneOut,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    r2_score,
+    root_mean_squared_error,
+)
+
+__all__ = [
+    "MinMaxScaler",
+    "StandardScaler",
+    "PCA",
+    "varimax",
+    "feature_contributions",
+    "KNeighborsClassifier",
+    "GaussianNaiveBayes",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "LinearSVM",
+    "MLPClassifier",
+    "MLPRegressor",
+    "LinearRegression",
+    "PowerLawRegression",
+    "ExponentialSaturationRegression",
+    "NapierianLogRegression",
+    "fit_least_squares",
+    "KFold",
+    "LeaveOneOut",
+    "cross_val_score",
+    "train_test_split",
+    "accuracy_score",
+    "confusion_matrix",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "root_mean_squared_error",
+]

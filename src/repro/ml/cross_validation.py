@@ -1,0 +1,101 @@
+"""Cross-validation utilities.
+
+The paper evaluates its predictor with leave-one-out cross-validation over
+the training benchmarks (Section 5.2): the benchmark under test — and any
+equivalent implementation of it in another suite — is excluded from the
+training set.  This module provides the generic splitters; the
+equivalent-benchmark exclusion policy lives in :mod:`repro.core.training`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["KFold", "LeaveOneOut", "train_test_split", "cross_val_score"]
+
+
+class KFold:
+    """Split sample indices into ``k`` folds, optionally shuffled."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False,
+                 seed: int | None = None) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError("cannot split fewer samples than folds")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+class LeaveOneOut:
+    """Leave-one-out cross-validation splitter."""
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` with a single test sample."""
+        if n_samples < 2:
+            raise ValueError("leave-one-out needs at least two samples")
+        indices = np.arange(n_samples)
+        for i in range(n_samples):
+            yield np.delete(indices, i), np.array([i])
+
+
+def train_test_split(X, y, test_fraction: float = 0.25,
+                     seed: int | None = None):
+    """Randomly split paired arrays into train and test portions."""
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y must have the same number of samples")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(X))
+    n_test = max(1, int(round(len(X) * test_fraction)))
+    test_idx = indices[:n_test]
+    train_idx = indices[n_test:]
+    if len(train_idx) == 0:
+        raise ValueError("test_fraction leaves no training samples")
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def cross_val_score(model_factory: Callable[[], object], X, y,
+                    splitter=None) -> list[float]:
+    """Run cross-validated classification accuracy.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh classifier exposing
+        ``fit(X, y)`` and ``predict(X)``.
+    X, y:
+        Samples and labels.
+    splitter:
+        Object with a ``split(n_samples)`` method; defaults to
+        :class:`LeaveOneOut`.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if splitter is None:
+        splitter = LeaveOneOut()
+    scores: list[float] = []
+    for train_idx, test_idx in splitter.split(len(X)):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        predictions = np.asarray(model.predict(X[test_idx]))
+        scores.append(float(np.mean(predictions == y[test_idx])))
+    return scores

@@ -1,0 +1,92 @@
+"""K-nearest-neighbour classifier.
+
+The paper's expert selector is a KNN classifier over the PCA-reduced feature
+space (Section 3): the memory function of the nearest training program is
+used for the incoming application, and the Euclidean distance to that
+neighbour doubles as a confidence estimate — applications that are far from
+every training program can be run under a conservative fallback policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier:
+    """Euclidean-distance KNN with majority voting.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours consulted; the paper effectively uses the
+        single nearest neighbour.
+    """
+
+    def __init__(self, n_neighbors: int = 1) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be at least 1")
+        self.n_neighbors = n_neighbors
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        """Memorise the training samples and labels."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError("KNN expects a 2-D sample matrix")
+        if len(X) != len(y):
+            raise ValueError("X and y must have the same number of samples")
+        if len(X) == 0:
+            raise ValueError("KNN requires at least one training sample")
+        self._X = X
+        self._y = y
+        return self
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        """Pairwise Euclidean distances between queries and training rows."""
+        diffs = X[:, None, :] - self._X[None, :, :]
+        return np.sqrt(np.sum(diffs ** 2, axis=2))
+
+    def kneighbors(self, X) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(distances, indices)`` of the k nearest neighbours."""
+        if self._X is None or self._y is None:
+            raise RuntimeError("KNN must be fitted before querying")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        distances = self._distances(X)
+        k = min(self.n_neighbors, len(self._X))
+        order = np.argsort(distances, axis=1)[:, :k]
+        nearest = np.take_along_axis(distances, order, axis=1)
+        return nearest, order
+
+    def predict(self, X) -> np.ndarray:
+        """Predict labels by majority vote among the nearest neighbours."""
+        nearest, order = self.kneighbors(X)
+        predictions = []
+        for row_indices, row_distances in zip(order, nearest):
+            labels = self._y[row_indices]
+            # Majority vote; ties broken by the closer neighbour.
+            best_label, best_score = None, None
+            counted: dict[object, float] = {}
+            for label, distance in zip(labels, row_distances):
+                counted[label] = counted.get(label, 0.0) + 1.0
+            for label, count in counted.items():
+                # Prefer the label whose closest member is nearest.
+                closest = min(d for lab, d in zip(labels, row_distances) if lab == label)
+                score = (count, -closest)
+                if best_score is None or score > best_score:
+                    best_label, best_score = label, score
+            predictions.append(best_label)
+        return np.asarray(predictions)
+
+    def predict_with_confidence(self, X) -> tuple[np.ndarray, np.ndarray]:
+        """Predict labels and return the nearest-neighbour distances.
+
+        The distance to the nearest training program is the paper's
+        prediction-confidence signal: a large distance means the target
+        application looks unlike everything seen during training.
+        """
+        nearest, _ = self.kneighbors(X)
+        return self.predict(X), nearest[:, 0]

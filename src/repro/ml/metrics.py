@@ -1,0 +1,87 @@
+"""Classification and regression metrics used throughout the reproduction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "root_mean_squared_error",
+    "geometric_mean",
+]
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of predictions that exactly match the true labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("accuracy_score requires at least one sample")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Confusion matrix with rows = true labels, columns = predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for truth, pred in zip(y_true, y_pred):
+        matrix[index[truth], index[pred]] += 1
+    return matrix
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Average absolute difference between predictions and true values."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred) -> float:
+    """Mean absolute percentage error (the paper's ~5 % accuracy metric)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if np.any(y_true == 0):
+        raise ValueError("MAPE is undefined when a true value is zero")
+    return float(np.mean(np.abs((y_true - y_pred) / y_true)) * 100.0)
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Root of the mean squared prediction error."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination of a regression fit."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    residual = np.sum((y_true - y_pred) ** 2)
+    total = np.sum((y_true - y_true.mean()) ** 2)
+    if total == 0:
+        return 1.0 if residual == 0 else 0.0
+    return float(1.0 - residual / total)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of strictly positive values.
+
+    The paper reports geometric-mean performance across task-mix
+    configurations (Section 5.2).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("geometric_mean requires at least one value")
+    if np.any(values <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,172 @@
+"""Small feed-forward neural networks trained with backpropagation.
+
+The paper uses a 3-layer artificial neural network (ANN) in two roles:
+
+* as an alternative expert-selector classifier (Table 5, "MLP" and "ANN"
+  rows), and
+* as a unified single-model *regressor* that predicts the memory footprint
+  directly from the runtime features and input size (Figure 9).
+
+Both roles are covered here: :class:`MLPClassifier` for classification and
+:class:`MLPRegressor` for footprint regression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MLPClassifier", "MLPRegressor"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(x: np.ndarray) -> np.ndarray:
+    return (x > 0).astype(float)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class _BaseMLP:
+    """Shared weight handling for the classifier and regressor variants."""
+
+    def __init__(self, hidden_units: int, learning_rate: float, n_iter: int,
+                 seed: int | None, l2: float) -> None:
+        if hidden_units < 1:
+            raise ValueError("hidden_units must be at least 1")
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.seed = seed
+        self.l2 = l2
+        self._w1: np.ndarray | None = None
+        self._b1: np.ndarray | None = None
+        self._w2: np.ndarray | None = None
+        self._b2: np.ndarray | None = None
+
+    def _init_weights(self, n_inputs: int, n_outputs: int) -> None:
+        rng = np.random.default_rng(self.seed)
+        scale1 = np.sqrt(2.0 / n_inputs)
+        scale2 = np.sqrt(2.0 / self.hidden_units)
+        self._w1 = rng.normal(0.0, scale1, size=(n_inputs, self.hidden_units))
+        self._b1 = np.zeros(self.hidden_units)
+        self._w2 = rng.normal(0.0, scale2, size=(self.hidden_units, n_outputs))
+        self._b2 = np.zeros(n_outputs)
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        pre_hidden = X @ self._w1 + self._b1
+        hidden = _relu(pre_hidden)
+        output = hidden @ self._w2 + self._b2
+        return pre_hidden, output
+
+    def _backward(self, X: np.ndarray, pre_hidden: np.ndarray,
+                  output_grad: np.ndarray) -> None:
+        hidden = _relu(pre_hidden)
+        grad_w2 = hidden.T @ output_grad + self.l2 * self._w2
+        grad_b2 = output_grad.sum(axis=0)
+        hidden_grad = (output_grad @ self._w2.T) * _relu_grad(pre_hidden)
+        grad_w1 = X.T @ hidden_grad + self.l2 * self._w1
+        grad_b1 = hidden_grad.sum(axis=0)
+        self._w2 -= self.learning_rate * grad_w2
+        self._b2 -= self.learning_rate * grad_b2
+        self._w1 -= self.learning_rate * grad_w1
+        self._b1 -= self.learning_rate * grad_b1
+
+
+class MLPClassifier(_BaseMLP):
+    """Single-hidden-layer softmax classifier trained with backpropagation."""
+
+    def __init__(self, hidden_units: int = 16, learning_rate: float = 0.05,
+                 n_iter: int = 500, seed: int | None = 0, l2: float = 1e-4) -> None:
+        super().__init__(hidden_units, learning_rate, n_iter, seed, l2)
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "MLPClassifier":
+        """Train on the given samples with full-batch gradient descent."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError("MLPClassifier expects a 2-D sample matrix")
+        if len(X) != len(y):
+            raise ValueError("X and y must have the same number of samples")
+        self.classes_ = np.asarray(sorted(set(y.tolist())))
+        label_index = {label: i for i, label in enumerate(self.classes_.tolist())}
+        targets = np.zeros((len(y), len(self.classes_)))
+        for row, label in enumerate(y.tolist()):
+            targets[row, label_index[label]] = 1.0
+        self._init_weights(X.shape[1], len(self.classes_))
+        n_samples = len(X)
+        for _ in range(self.n_iter):
+            pre_hidden, logits = self._forward(X)
+            probabilities = _softmax(logits)
+            output_grad = (probabilities - targets) / n_samples
+            self._backward(X, pre_hidden, output_grad)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities for each sample."""
+        if self._w1 is None:
+            raise RuntimeError("MLPClassifier must be fitted before predicting")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        _, logits = self._forward(X)
+        return _softmax(logits)
+
+    def predict(self, X) -> np.ndarray:
+        """Most probable class for each sample."""
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+
+class MLPRegressor(_BaseMLP):
+    """Single-hidden-layer regression network with a linear output unit.
+
+    Inputs and targets are internally standardised so the default learning
+    rate behaves sensibly across the wide dynamic ranges seen in memory
+    footprints (megabytes to terabytes of input).
+    """
+
+    def __init__(self, hidden_units: int = 16, learning_rate: float = 0.01,
+                 n_iter: int = 2000, seed: int | None = 0, l2: float = 1e-5) -> None:
+        super().__init__(hidden_units, learning_rate, n_iter, seed, l2)
+        self._x_mean: np.ndarray | None = None
+        self._x_scale: np.ndarray | None = None
+        self._y_mean: float | None = None
+        self._y_scale: float | None = None
+
+    def fit(self, X, y) -> "MLPRegressor":
+        """Train on the given samples with full-batch gradient descent."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1, 1)
+        if X.ndim != 2:
+            raise ValueError("MLPRegressor expects a 2-D sample matrix")
+        if len(X) != len(y):
+            raise ValueError("X and y must have the same number of samples")
+        self._x_mean = X.mean(axis=0)
+        x_std = X.std(axis=0)
+        self._x_scale = np.where(x_std == 0, 1.0, x_std)
+        self._y_mean = float(y.mean())
+        y_std = float(y.std())
+        self._y_scale = y_std if y_std > 0 else 1.0
+        X_scaled = (X - self._x_mean) / self._x_scale
+        y_scaled = (y - self._y_mean) / self._y_scale
+        self._init_weights(X.shape[1], 1)
+        n_samples = len(X)
+        for _ in range(self.n_iter):
+            pre_hidden, output = self._forward(X_scaled)
+            output_grad = 2.0 * (output - y_scaled) / n_samples
+            self._backward(X_scaled, pre_hidden, output_grad)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict a real-valued target for each sample."""
+        if self._w1 is None:
+            raise RuntimeError("MLPRegressor must be fitted before predicting")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        X_scaled = (X - self._x_mean) / self._x_scale
+        _, output = self._forward(X_scaled)
+        return output.ravel() * self._y_scale + self._y_mean

@@ -1,0 +1,88 @@
+"""Principal Component Analysis.
+
+The paper applies PCA to the scaled 22-dimensional raw feature vectors and
+keeps the top five principal components, which account for ~95 % of the
+variance (Section 3.2, Figure 4a).  The transformation matrix learned during
+training is stored and re-applied to features extracted at runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Principal component analysis via singular value decomposition.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep.  ``None`` keeps every component.
+        A float in ``(0, 1)`` keeps the smallest number of components whose
+        cumulative explained-variance ratio reaches that fraction (the paper
+        uses 0.95).
+    """
+
+    def __init__(self, n_components: int | float | None = None) -> None:
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+        self.n_components_: int | None = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        """Learn the principal axes of ``X`` (rows are samples)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("PCA expects a 2-D array")
+        n_samples, n_features = X.shape
+        if n_samples < 2:
+            raise ValueError("PCA requires at least two samples")
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        # SVD of the centered data: principal axes are the right singular
+        # vectors; singular values relate to component variances.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        variances = (singular_values ** 2) / (n_samples - 1)
+        total = variances.sum()
+        ratios = variances / total if total > 0 else np.zeros_like(variances)
+
+        n_available = len(variances)
+        if self.n_components is None:
+            keep = n_available
+        elif isinstance(self.n_components, float) and 0 < self.n_components < 1:
+            cumulative = np.cumsum(ratios)
+            keep = int(np.searchsorted(cumulative, self.n_components) + 1)
+            keep = min(keep, n_available)
+        else:
+            keep = int(self.n_components)
+            if keep <= 0:
+                raise ValueError("n_components must be positive")
+            keep = min(keep, n_available)
+
+        self.components_ = vt[:keep]
+        self.explained_variance_ = variances[:keep]
+        self.explained_variance_ratio_ = ratios[:keep]
+        self.n_components_ = keep
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project ``X`` onto the learned principal components."""
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA must be fitted before transform")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit the PCA on ``X`` and return the projected data."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Map projected data back into the original feature space."""
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA must be fitted before inverse_transform")
+        X = np.asarray(X, dtype=float)
+        return X @ self.components_ + self.mean_

@@ -1,0 +1,79 @@
+"""Random-forest classifier built on the CART trees in this package.
+
+One of the alternative expert-selector classifiers compared in Table 5 of
+the paper (95.5 % accuracy in the paper's setting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of decision trees with feature sub-sampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees in the forest.
+    max_depth:
+        Maximum depth of each tree.
+    max_features:
+        Features considered per split; ``None`` uses ``sqrt(n_features)``.
+    seed:
+        Seed controlling both bootstrap sampling and per-tree feature
+        sampling, making the forest fully deterministic.
+    """
+
+    def __init__(self, n_estimators: int = 25, max_depth: int | None = None,
+                 max_features: int | None = None, seed: int | None = 0) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.seed = seed
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit each tree on a bootstrap resample of the training data."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if len(X) != len(y):
+            raise ValueError("X and y must have the same number of samples")
+        if len(X) == 0:
+            raise ValueError("cannot fit a forest on zero samples")
+        rng = np.random.default_rng(self.seed)
+        n_samples, n_features = X.shape
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.sqrt(n_features)))
+        self.classes_ = np.asarray(sorted(set(y.tolist())))
+        self.estimators_ = []
+        for i in range(self.n_estimators):
+            indices = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=max_features,
+                seed=int(rng.integers(0, 2 ** 31 - 1)),
+            )
+            tree.fit(X[indices], y[indices])
+            self.estimators_.append(tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Majority vote across the fitted trees."""
+        if not self.estimators_:
+            raise RuntimeError("RandomForestClassifier must be fitted before predicting")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        votes = np.stack([tree.predict(X) for tree in self.estimators_], axis=0)
+        predictions = []
+        for column in votes.T:
+            values, counts = np.unique(column, return_counts=True)
+            predictions.append(values[np.argmax(counts)])
+        return np.asarray(predictions)

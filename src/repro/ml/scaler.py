@@ -1,0 +1,107 @@
+"""Feature scaling utilities.
+
+The paper scales every raw feature to the ``[0, 1]`` range using the minimum
+and maximum values observed during training, and re-applies the recorded
+bounds to features extracted from new applications at runtime
+(Section 3.2, "Feature Scaling").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MinMaxScaler", "StandardScaler"]
+
+
+class MinMaxScaler:
+    """Scale each feature column to the ``[0, 1]`` interval.
+
+    The minimum and maximum of each column are recorded at :meth:`fit` time
+    and reused for any later :meth:`transform`, exactly as the paper records
+    training-time bounds for runtime deployment.  Columns that are constant
+    in the training data are mapped to ``0.0``.
+    """
+
+    def __init__(self) -> None:
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Record per-column minima and maxima of ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("MinMaxScaler expects a 2-D array")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit MinMaxScaler on an empty array")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Scale ``X`` using the recorded training bounds.
+
+        Values outside the training range are clipped to ``[0, 1]`` so a
+        runtime outlier cannot produce wildly out-of-range features.
+        """
+        if self.data_min_ is None or self.data_max_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before transform")
+        X = np.asarray(X, dtype=float)
+        span = self.data_max_ - self.data_min_
+        safe_span = np.where(span == 0, 1.0, span)
+        scaled = (X - self.data_min_) / safe_span
+        scaled = np.where(span == 0, 0.0, scaled)
+        return np.clip(scaled, 0.0, 1.0)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit the scaler on ``X`` and return the scaled data."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original feature space."""
+        if self.data_min_ is None or self.data_max_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before inverse_transform")
+        X = np.asarray(X, dtype=float)
+        span = self.data_max_ - self.data_min_
+        return X * span + self.data_min_
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance.
+
+    Used internally by PCA and the neural-network models, which converge
+    poorly on unstandardised inputs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Record per-column means and standard deviations of ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("StandardScaler expects a 2-D array")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit StandardScaler on an empty array")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std == 0, 1.0, std)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Standardise ``X`` using the recorded statistics."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit the scaler on ``X`` and return the standardised data."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Map standardised values back to the original feature space."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform")
+        X = np.asarray(X, dtype=float)
+        return X * self.scale_ + self.mean_

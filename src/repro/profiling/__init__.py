@@ -1,0 +1,37 @@
+"""Synthetic runtime profiling.
+
+The paper characterises an incoming application by running it on a small
+(~100 MB) sample of its input while collecting 22 raw features from
+system-wide profilers (vmstat, Linux perf and PAPI — Table 2), plus the
+average CPU usage; two further profiling runs on 5 % and 10 % of the input
+measure the memory footprints used to calibrate the chosen memory
+function (Section 4.1).
+
+Hardware performance counters are not available in this offline
+reproduction, so :mod:`repro.profiling.counters` synthesises the 22
+features from each benchmark's workload class and memory-behaviour family.
+The synthetic features preserve the property the paper's expert selector
+relies on: applications whose memory behaviour follows the same function
+family look similar in feature space (Figure 16), while per-benchmark and
+per-run variation keeps the learning problem non-trivial.
+"""
+
+from repro.profiling.counters import (
+    RAW_FEATURE_NAMES,
+    FeatureVector,
+    synthesize_features,
+)
+from repro.profiling.profiler import (
+    CalibrationMeasurement,
+    ProfileReport,
+    Profiler,
+)
+
+__all__ = [
+    "RAW_FEATURE_NAMES",
+    "FeatureVector",
+    "synthesize_features",
+    "CalibrationMeasurement",
+    "ProfileReport",
+    "Profiler",
+]

@@ -1,0 +1,60 @@
+"""Task co-location schedulers.
+
+The paper pairs its mixture-of-experts memory predictor with a simple
+co-location policy and compares the result against several alternatives
+(Section 5.4).  This package provides all of them behind the same
+scheduler interface expected by :class:`repro.cluster.ClusterSimulator`:
+
+* :class:`~repro.scheduling.isolated.IsolatedScheduler` — the baseline that
+  runs applications one by one with exclusive use of the cluster;
+* :class:`~repro.scheduling.pairwise.PairwiseScheduler` — co-locates at most
+  two applications per node, giving the newcomer all free memory;
+* :class:`~repro.scheduling.colocation.MemoryAwareCoLocationScheduler` — the
+  generic memory-aware dispatcher, parameterised by a memory estimator;
+* factory helpers building that dispatcher with the paper's estimator
+  (:func:`make_moe_scheduler`), the ideal predictor
+  (:func:`make_oracle_scheduler`), the Quasar-like classification estimator
+  (:func:`make_quasar_scheduler`) and the unified single-model estimators
+  (:func:`make_unified_scheduler`);
+* :class:`~repro.scheduling.online_search.OnlineSearchScheduler` — runtime
+  gradient-descent search for the right allocation (Section 6.5).
+"""
+
+from repro.scheduling.base import ProfilingCost, Scheduler
+from repro.scheduling.estimators import (
+    ANNUnifiedEstimator,
+    MemoryEstimator,
+    MoEEstimator,
+    OracleEstimator,
+    QuasarEstimator,
+    UnifiedFamilyEstimator,
+)
+from repro.scheduling.isolated import IsolatedScheduler
+from repro.scheduling.pairwise import PairwiseScheduler
+from repro.scheduling.colocation import MemoryAwareCoLocationScheduler
+from repro.scheduling.online_search import OnlineSearchScheduler
+from repro.scheduling.factories import (
+    make_moe_scheduler,
+    make_oracle_scheduler,
+    make_quasar_scheduler,
+    make_unified_scheduler,
+)
+
+__all__ = [
+    "ProfilingCost",
+    "Scheduler",
+    "MemoryEstimator",
+    "OracleEstimator",
+    "MoEEstimator",
+    "QuasarEstimator",
+    "UnifiedFamilyEstimator",
+    "ANNUnifiedEstimator",
+    "IsolatedScheduler",
+    "PairwiseScheduler",
+    "MemoryAwareCoLocationScheduler",
+    "OnlineSearchScheduler",
+    "make_moe_scheduler",
+    "make_oracle_scheduler",
+    "make_quasar_scheduler",
+    "make_unified_scheduler",
+]

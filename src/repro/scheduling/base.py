@@ -1,0 +1,64 @@
+"""Scheduler interface shared by every co-location policy."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cluster.simulator import SchedulingContext
+from repro.spark.application import SparkApplication
+
+__all__ = ["ProfilingCost", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class ProfilingCost:
+    """Time spent profiling an application before it can be scheduled.
+
+    The paper's approach extracts runtime features (~100 MB run) and
+    calibrates the selected memory function (two small runs); both phases
+    happen while the application waits in the queue and their output
+    contributes to the final result, but their duration is charged to the
+    application (Figures 11 and 12).
+    """
+
+    feature_extraction_min: float = 0.0
+    calibration_min: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.feature_extraction_min < 0 or self.calibration_min < 0:
+            raise ValueError("profiling costs cannot be negative")
+
+    @property
+    def total_min(self) -> float:
+        """Total profiling delay in minutes."""
+        return self.feature_extraction_min + self.calibration_min
+
+
+class Scheduler(ABC):
+    """Base class for all scheduling policies driven by the simulator.
+
+    The simulator calls :meth:`on_submit` once per application when the job
+    mix is submitted, and :meth:`schedule` at every time step; the latter
+    places executors through the provided
+    :class:`~repro.cluster.simulator.SchedulingContext`.
+    """
+
+    def on_submit(self, ctx: SchedulingContext, app: SparkApplication) -> float:
+        """Hook invoked at submission; returns the scheduling delay in minutes.
+
+        The default implementation records no profiling cost and returns
+        zero delay.
+        """
+        return 0.0
+
+    @abstractmethod
+    def schedule(self, ctx: SchedulingContext) -> None:
+        """Place executors for waiting applications (called every step)."""
+
+    @staticmethod
+    def charge_profiling(app: SparkApplication, cost: ProfilingCost) -> float:
+        """Record a profiling cost on the application and return its delay."""
+        app.feature_extraction_min = cost.feature_extraction_min
+        app.calibration_min = cost.calibration_min
+        return cost.total_min

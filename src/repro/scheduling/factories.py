@@ -1,0 +1,78 @@
+"""Convenience factories for the schedulers compared in the paper."""
+
+from __future__ import annotations
+
+from repro.core.moe import MixtureOfExperts
+from repro.core.training import TrainingDataset, collect_training_data
+from repro.profiling.profiler import Profiler
+from repro.scheduling.colocation import MemoryAwareCoLocationScheduler
+from repro.scheduling.estimators import (
+    ANNUnifiedEstimator,
+    MoEEstimator,
+    OracleEstimator,
+    QuasarEstimator,
+    UnifiedFamilyEstimator,
+)
+
+__all__ = [
+    "make_moe_scheduler",
+    "make_oracle_scheduler",
+    "make_quasar_scheduler",
+    "make_unified_scheduler",
+]
+
+
+def make_moe_scheduler(moe: MixtureOfExperts | None = None,
+                       profiler: Profiler | None = None,
+                       leave_one_out: bool = True,
+                       **scheduler_kwargs) -> MemoryAwareCoLocationScheduler:
+    """The paper's approach: mixture-of-experts prediction + co-location."""
+    estimator = MoEEstimator(moe=moe, profiler=profiler,
+                             leave_one_out=leave_one_out)
+    return MemoryAwareCoLocationScheduler(estimator, **scheduler_kwargs)
+
+
+def make_oracle_scheduler(**scheduler_kwargs) -> MemoryAwareCoLocationScheduler:
+    """The ideal predictor: ground-truth footprints, no profiling cost.
+
+    The oracle's predictions are exact, so no safety margin is added on top
+    of them (a margin only exists to tolerate prediction error).
+    """
+    scheduler_kwargs.setdefault("safety_margin", 1.0)
+    return MemoryAwareCoLocationScheduler(OracleEstimator(), **scheduler_kwargs)
+
+
+def make_quasar_scheduler(dataset: TrainingDataset | None = None,
+                          profiler: Profiler | None = None,
+                          **scheduler_kwargs) -> MemoryAwareCoLocationScheduler:
+    """The Quasar-like classification-based co-location scheme.
+
+    Quasar estimates a single static resource requirement per application
+    (no per-dataset memory function), so it cannot shrink an executor's
+    data share to fit a partially free node — ``resize_to_fit`` is off.
+    """
+    dataset = dataset or collect_training_data()
+    estimator = QuasarEstimator(dataset=dataset, profiler=profiler)
+    scheduler_kwargs.setdefault("resize_to_fit", False)
+    return MemoryAwareCoLocationScheduler(estimator, **scheduler_kwargs)
+
+
+def make_unified_scheduler(model: str,
+                           dataset: TrainingDataset | None = None,
+                           profiler: Profiler | None = None,
+                           **scheduler_kwargs) -> MemoryAwareCoLocationScheduler:
+    """A unified single-model scheduler (Figure 9).
+
+    Parameters
+    ----------
+    model:
+        ``"power_law"``, ``"exponential"``, ``"napierian_log"`` for the
+        fixed-family baselines, or ``"ann"`` for the neural-network
+        regressor baseline.
+    """
+    if model == "ann":
+        dataset = dataset or collect_training_data()
+        estimator = ANNUnifiedEstimator(dataset=dataset, profiler=profiler)
+    else:
+        estimator = UnifiedFamilyEstimator(family=model, profiler=profiler)
+    return MemoryAwareCoLocationScheduler(estimator, **scheduler_kwargs)

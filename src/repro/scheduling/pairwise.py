@@ -1,0 +1,68 @@
+"""The Pairwise co-location baseline (Section 5.4).
+
+Pairwise looks for servers with spare memory and co-locates *one*
+additional task on them, setting the newcomer's maximum heap to the size of
+the free memory and relying on Spark's default scheduler to decide how many
+RDD data items the co-running task receives.  Because the co-located task
+grabs all remaining memory, a third application can never join, which is
+why Pairwise falls behind for large task groups (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.simulator import SchedulingContext
+from repro.scheduling.base import Scheduler
+from repro.spark.driver import DynamicAllocationPolicy
+
+__all__ = ["PairwiseScheduler"]
+
+
+class PairwiseScheduler(Scheduler):
+    """At most two applications per node; the second takes all free memory.
+
+    Parameters
+    ----------
+    default_heap_fraction:
+        Fraction of node RAM reserved by the *first* executor on a node —
+        the static default heap configuration an administrator would pick
+        without a memory model.
+    allocation_policy:
+        Spark dynamic-allocation policy used for executor counts and data
+        splits.
+    """
+
+    def __init__(self, default_heap_fraction: float = 0.5,
+                 allocation_policy: DynamicAllocationPolicy | None = None) -> None:
+        if not 0 < default_heap_fraction <= 1:
+            raise ValueError("default_heap_fraction must be in (0, 1]")
+        self.default_heap_fraction = default_heap_fraction
+        self.allocation_policy = allocation_policy or DynamicAllocationPolicy()
+
+    def schedule(self, ctx: SchedulingContext) -> None:
+        for app in ctx.waiting_apps():
+            desired = self.allocation_policy.desired_executors(app.input_gb)
+            active = len(app.active_executors)
+            if active >= desired:
+                continue
+            for node in ctx.cluster.nodes_by_free_memory():
+                if active >= desired or app.unassigned_gb <= 1e-6:
+                    break
+                co_running = node.applications()
+                if app.name in co_running:
+                    continue
+                if len(co_running) >= 2:
+                    continue
+                if co_running:
+                    # The co-locating task gets every remaining gigabyte.
+                    budget = node.free_reserved_memory_gb
+                else:
+                    budget = node.ram_gb * self.default_heap_fraction
+                if budget < 1.0:
+                    continue
+                data = min(self.allocation_policy.default_split_gb(app.input_gb),
+                           app.unassigned_gb)
+                # Pairwise has no notion of CPU demand, so no admission test.
+                executor = ctx.spawn_executor(app, node.node_id, budget, data,
+                                              enforce_admission=False)
+                if executor is not None:
+                    active += 1

@@ -1,0 +1,55 @@
+"""Driver-side dynamic resource allocation.
+
+The paper's system keeps Spark's dynamic allocation scheme as the starting
+point — it decides how many free server nodes an application would use by
+default — and then improves on it by spawning *additional* executors on
+nodes that have spare memory (Section 4.3).  This module models that
+default policy: how many executors an application asks for given its input
+size, and how much data each default executor would take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DynamicAllocationPolicy"]
+
+
+@dataclass(frozen=True)
+class DynamicAllocationPolicy:
+    """Spark-like dynamic executor allocation.
+
+    Parameters
+    ----------
+    target_split_gb:
+        Amount of input data the policy aims to give each executor; Spark's
+        dynamic allocation scales executor count with the number of pending
+        tasks, which is proportional to the input size.
+    min_executors, max_executors:
+        Bounds on the number of executors an application may request; the
+        upper bound is the cluster size in the paper's setup (40 nodes, one
+        default executor per node).
+    """
+
+    target_split_gb: float = 25.0
+    min_executors: int = 1
+    max_executors: int = 40
+
+    def __post_init__(self) -> None:
+        if self.target_split_gb <= 0:
+            raise ValueError("target_split_gb must be positive")
+        if self.min_executors < 1:
+            raise ValueError("min_executors must be at least 1")
+        if self.max_executors < self.min_executors:
+            raise ValueError("max_executors must be >= min_executors")
+
+    def desired_executors(self, input_gb: float) -> int:
+        """Number of executors Spark's dynamic allocation would request."""
+        if input_gb <= 0:
+            raise ValueError("input_gb must be positive")
+        desired = int(-(-input_gb // self.target_split_gb))  # ceil division
+        return int(min(max(desired, self.min_executors), self.max_executors))
+
+    def default_split_gb(self, input_gb: float) -> float:
+        """Data given to each default executor for the given input size."""
+        return input_gb / self.desired_executors(input_gb)

@@ -1,0 +1,126 @@
+"""Executor processes.
+
+A Spark executor is a JVM process with a dedicated heap that caches RDD
+partitions and runs parallel tasks.  The paper's scheduler operates at the
+executor granularity: it spawns additional executors on nodes with spare
+memory, sizes their heap using the predicted memory function, and adjusts
+the number of task threads so co-running executors share the node's cores
+evenly (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["ExecutorState", "Executor"]
+
+_EXECUTOR_IDS = itertools.count()
+
+
+class ExecutorState(str, Enum):
+    """Lifecycle of an executor process."""
+
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED_OOM = "failed_oom"
+
+
+@dataclass
+class Executor:
+    """One executor process placed on a node.
+
+    Parameters
+    ----------
+    app_name:
+        Identifier of the owning application instance.
+    node_id:
+        Index of the node hosting the executor.
+    memory_budget_gb:
+        Heap size granted by the scheduler.
+    assigned_gb:
+        Amount of input data this executor is responsible for caching and
+        processing.
+    cpu_demand:
+        CPU demand (fraction of the node) inherited from the application.
+    threads:
+        Task threads currently allotted; the simulator rebalances this when
+        executors join or leave a node.
+    """
+
+    app_name: str
+    node_id: int
+    memory_budget_gb: float
+    assigned_gb: float
+    cpu_demand: float
+    threads: int = 1
+    executor_id: int = field(default_factory=lambda: next(_EXECUTOR_IDS))
+    processed_gb: float = 0.0
+    state: ExecutorState = ExecutorState.RUNNING
+
+    def __post_init__(self) -> None:
+        if self.memory_budget_gb <= 0:
+            raise ValueError("memory_budget_gb must be positive")
+        if self.assigned_gb < 0:
+            raise ValueError("assigned_gb cannot be negative")
+        if not 0 < self.cpu_demand <= 1.0:
+            raise ValueError("cpu_demand must be in (0, 1]")
+        if self.threads < 1:
+            raise ValueError("threads must be at least 1")
+
+    @property
+    def remaining_gb(self) -> float:
+        """Data still to be processed by this executor."""
+        return max(self.assigned_gb - self.processed_gb, 0.0)
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the executor is still running work."""
+        return self.state is ExecutorState.RUNNING and self.remaining_gb > 1e-9
+
+    def cached_gb(self) -> float:
+        """Data currently held by the executor.
+
+        Spark caches the partitions an executor is responsible for; the
+        resident footprint therefore follows the *assigned* data rather
+        than the already-processed fraction, which is what the paper's
+        memory functions model.
+        """
+        return self.assigned_gb
+
+    def advance(self, processed_gb: float) -> None:
+        """Account for ``processed_gb`` of work completed by the executor."""
+        if processed_gb < 0:
+            raise ValueError("processed_gb cannot be negative")
+        if self.state is not ExecutorState.RUNNING:
+            raise RuntimeError("cannot advance a finished or failed executor")
+        self.processed_gb = min(self.processed_gb + processed_gb, self.assigned_gb)
+        if self.remaining_gb <= 1e-9:
+            self.state = ExecutorState.FINISHED
+
+    def assign_more(self, extra_gb: float) -> None:
+        """Give the executor additional data to process.
+
+        Used by the dynamic adjustment in the dispatcher, which grows or
+        shrinks the number of data items given to a co-located executor as
+        memory conditions change (Section 4.3).
+        """
+        if extra_gb < 0:
+            raise ValueError("extra_gb cannot be negative")
+        if self.state is ExecutorState.FAILED_OOM:
+            raise RuntimeError("cannot assign data to a failed executor")
+        self.assigned_gb += extra_gb
+        if self.state is ExecutorState.FINISHED and self.remaining_gb > 1e-9:
+            self.state = ExecutorState.RUNNING
+
+    def fail_out_of_memory(self) -> float:
+        """Mark the executor as killed by an out-of-memory error.
+
+        Returns the amount of unprocessed data that must be re-run
+        elsewhere (the paper re-runs failed executors in isolation,
+        Section 2.3).
+        """
+        unprocessed = self.remaining_gb
+        self.state = ExecutorState.FAILED_OOM
+        return unprocessed

@@ -1,0 +1,57 @@
+"""Benchmark catalogue and workload generation.
+
+The paper evaluates on 44 Java-based Spark applications drawn from four
+suites — HiBench, BigDataBench, Spark-Perf and Spark-Bench — plus 12
+computation-intensive PARSEC applications for the interference study
+(Figures 14 and 15).  Real benchmark binaries and their terabyte-scale
+inputs are not available offline, so this package provides a synthetic
+catalogue whose *behavioural parameters* (memory-footprint curve family,
+CPU load in isolation, processing rate) follow the shapes reported in the
+paper.  Everything downstream (profiling, prediction, scheduling,
+simulation) treats these specifications as opaque ground truth, exactly as
+the paper treats its applications as black boxes.
+"""
+
+from repro.workloads.benchmark import (
+    BenchmarkSpec,
+    MemoryBehavior,
+    Suite,
+    WorkloadClass,
+)
+from repro.workloads.suites import (
+    ALL_BENCHMARKS,
+    TRAINING_BENCHMARKS,
+    benchmark_by_name,
+    benchmarks_by_suite,
+    equivalent_benchmarks,
+)
+from repro.workloads.parsec import PARSEC_BENCHMARKS, ParsecSpec
+from repro.workloads.mixes import (
+    SCENARIOS,
+    TABLE4_MIX,
+    Job,
+    make_scenario_mixes,
+    scenario_app_count,
+)
+from repro.workloads.inputs import InputSize, sample_input_size
+
+__all__ = [
+    "BenchmarkSpec",
+    "MemoryBehavior",
+    "Suite",
+    "WorkloadClass",
+    "ALL_BENCHMARKS",
+    "TRAINING_BENCHMARKS",
+    "benchmark_by_name",
+    "benchmarks_by_suite",
+    "equivalent_benchmarks",
+    "PARSEC_BENCHMARKS",
+    "ParsecSpec",
+    "SCENARIOS",
+    "TABLE4_MIX",
+    "Job",
+    "make_scenario_mixes",
+    "scenario_app_count",
+    "InputSize",
+    "sample_input_size",
+]

@@ -1,0 +1,184 @@
+"""Benchmark specifications and their ground-truth behaviour models.
+
+A :class:`BenchmarkSpec` captures everything the simulator needs to know
+about a Spark application:
+
+* its **memory behaviour** — which of the paper's three function families
+  (Table 1) describes how the executor footprint grows with the amount of
+  input data the executor caches, and with what coefficients;
+* its **CPU load** when running in isolation (paper Figure 13 reports most
+  benchmarks below 40 %);
+* its **processing rate**, which determines the isolated execution time for
+  a given input size; and
+* its **workload class**, which drives the synthetic runtime features
+  produced by :mod:`repro.profiling`.
+
+The prediction framework never reads these fields directly; it only
+observes footprints and features through profiling runs, mirroring the
+paper's black-box treatment of applications.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Suite", "WorkloadClass", "MemoryBehavior", "BenchmarkSpec"]
+
+
+class Suite(str, Enum):
+    """Benchmark suite of origin (paper Section 5.1)."""
+
+    HIBENCH = "HiBench"
+    BIGDATABENCH = "BigDataBench"
+    SPARK_PERF = "Spark-Perf"
+    SPARK_BENCH = "Spark-Bench"
+
+
+class WorkloadClass(str, Enum):
+    """Coarse application domain, used to synthesise runtime features.
+
+    Benchmarks in the same class exhibit similar cache/IO/contention
+    behaviour, which is what makes the paper's KNN expert selector work
+    (programs with similar features share a memory function — Figure 16).
+    """
+
+    SHUFFLE = "shuffle"          # sort / terasort / scan style data movement
+    TEXT = "text"                # wordcount / grep style scanning
+    SQL = "sql"                  # join / aggregation / hive queries
+    GRAPH = "graph"              # pagerank / connected components
+    ML_ITERATIVE = "ml_iterative"  # kmeans / regression / bayes
+    LINEAR_ALGEBRA = "linear_algebra"  # matrix factorisation / PCA / SVD
+
+
+class MemoryBehavior(str, Enum):
+    """The three memory-function families of Table 1."""
+
+    POWER_LAW = "power_law"             # y = m * x ** b
+    EXPONENTIAL = "exponential"         # y = m * (1 - exp(-b * x))
+    NAPIERIAN_LOG = "napierian_log"     # y = m + ln(x) * b
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Ground-truth behavioural description of one Spark benchmark.
+
+    Parameters
+    ----------
+    name:
+        Qualified benchmark name, e.g. ``"HB.Sort"``.
+    suite:
+        Suite of origin.
+    workload_class:
+        Coarse domain used for feature synthesis.
+    memory_behavior:
+        Which Table 1 family the executor footprint follows.
+    memory_m, memory_b:
+        Ground-truth coefficients of that family.  The input variable is
+        the number of gigabytes of input data cached by one executor, and
+        the output is the executor's resident footprint in gigabytes.
+    min_footprint_gb:
+        Footprint of an executor that caches (almost) no data — the JVM
+        heap, Spark runtime structures and so on.
+    cpu_load:
+        Average CPU utilisation (fraction of one node's compute capacity)
+        when the application runs in isolation.
+    rate_gb_per_min:
+        Data processed per executor per minute at full CPU availability.
+    startup_min:
+        Fixed per-application startup cost (driver + executor launch).
+    equivalent_group:
+        Benchmarks implementing the same algorithm in different suites
+        share a group label (e.g. ``"sort"``); the leave-one-out protocol
+        excludes the whole group from training (paper Section 5.2).
+    """
+
+    name: str
+    suite: Suite
+    workload_class: WorkloadClass
+    memory_behavior: MemoryBehavior
+    memory_m: float
+    memory_b: float
+    min_footprint_gb: float
+    cpu_load: float
+    rate_gb_per_min: float
+    startup_min: float = 1.0
+    equivalent_group: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_load <= 1.0:
+            raise ValueError(f"{self.name}: cpu_load must be in (0, 1]")
+        if self.rate_gb_per_min <= 0:
+            raise ValueError(f"{self.name}: rate_gb_per_min must be positive")
+        if self.min_footprint_gb < 0:
+            raise ValueError(f"{self.name}: min_footprint_gb cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Ground-truth behaviour
+    # ------------------------------------------------------------------
+    def true_footprint_gb(self, cached_gb: float) -> float:
+        """Executor memory footprint for ``cached_gb`` of cached input data.
+
+        This is the quantity the paper's memory functions approximate.  The
+        returned footprint never drops below :attr:`min_footprint_gb`.
+        """
+        if cached_gb < 0:
+            raise ValueError("cached_gb cannot be negative")
+        x = max(cached_gb, 1e-6)
+        if self.memory_behavior is MemoryBehavior.POWER_LAW:
+            footprint = self.memory_m * x ** self.memory_b
+        elif self.memory_behavior is MemoryBehavior.EXPONENTIAL:
+            footprint = self.memory_m * (1.0 - math.exp(-self.memory_b * x))
+        else:
+            footprint = self.memory_m + math.log(x) * self.memory_b
+        return max(footprint, self.min_footprint_gb)
+
+    def data_for_budget_gb(self, budget_gb: float, max_gb: float = 1e6) -> float:
+        """Largest amount of data whose true footprint fits in ``budget_gb``.
+
+        This is the oracle inverse of :meth:`true_footprint_gb`, used by the
+        Oracle scheduler.  A binary search is used because the footprint
+        curve is monotone non-decreasing for every family.
+        """
+        if budget_gb <= 0:
+            return 0.0
+        if self.true_footprint_gb(1e-6) > budget_gb:
+            return 0.0
+        lo, hi = 0.0, max_gb
+        if self.true_footprint_gb(hi) <= budget_gb:
+            return hi
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.true_footprint_gb(mid) <= budget_gb:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def isolated_runtime_min(self, input_gb: float, n_executors: int = 1) -> float:
+        """Execution time in minutes with dedicated resources.
+
+        The application is data parallel: with ``n_executors`` executors and
+        no resource contention, the input is processed at ``n_executors``
+        times the single-executor rate, plus the fixed startup cost.
+        """
+        if input_gb < 0:
+            raise ValueError("input_gb cannot be negative")
+        if n_executors < 1:
+            raise ValueError("n_executors must be at least 1")
+        return self.startup_min + input_gb / (self.rate_gb_per_min * n_executors)
+
+    def observed_footprint_gb(self, cached_gb: float, rng=None,
+                              noise: float = 0.02) -> float:
+        """A noisy profiling measurement of the true footprint.
+
+        Real measurements of resident set size fluctuate with GC timing and
+        OS caching; ``noise`` is the relative standard deviation of that
+        fluctuation.
+        """
+        footprint = self.true_footprint_gb(cached_gb)
+        if rng is None or noise <= 0:
+            return footprint
+        return float(max(footprint * (1.0 + rng.normal(0.0, noise)),
+                         self.min_footprint_gb * 0.5))

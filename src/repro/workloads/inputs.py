@@ -1,0 +1,60 @@
+"""Input-size generation.
+
+The paper's runtime scenarios use inputs ranging from small (~300 MB)
+through medium (~30 GB) to large (~1 TB), generated with each suite's data
+generator (Section 5.2).  This module provides the equivalent synthetic
+sampling plus the named sizes used by individual experiments (e.g. the
+~280 GB inputs of Figures 12, 14 and 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["InputSize", "INPUT_SIZE_GB", "sample_input_size", "profiling_sample_gb"]
+
+
+class InputSize(str, Enum):
+    """Named input-size categories used in the paper's evaluation."""
+
+    SMALL = "small"      # ~300 MB
+    MEDIUM = "medium"    # ~30 GB
+    LARGE = "large"      # ~1 TB
+
+
+#: Representative size in gigabytes for each named category.
+INPUT_SIZE_GB: dict[InputSize, float] = {
+    InputSize.SMALL: 0.3,
+    InputSize.MEDIUM: 30.0,
+    InputSize.LARGE: 1000.0,
+}
+
+#: Size of the data sample used for feature extraction (~100 MB,
+#: Section 2.3) expressed in gigabytes.
+PROFILING_FEATURE_SAMPLE_GB = 0.1
+
+
+def profiling_sample_gb() -> float:
+    """Size (GB) of the ~100 MB sample used for runtime feature extraction."""
+    return PROFILING_FEATURE_SAMPLE_GB
+
+
+def sample_input_size(rng: np.random.Generator,
+                      jitter: float = 0.25) -> tuple[InputSize, float]:
+    """Draw a named input size and a jittered concrete size in gigabytes.
+
+    The category is drawn uniformly from small/medium/large, matching the
+    paper's statement that scenario inputs range across the three classes;
+    ``jitter`` applies a multiplicative spread so repeated draws of the same
+    category do not produce identical workloads.
+    """
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError("jitter must be in [0, 1)")
+    categories = (InputSize.SMALL, InputSize.MEDIUM, InputSize.LARGE)
+    category = categories[int(rng.integers(0, len(categories)))]
+    base = INPUT_SIZE_GB[category]
+    factor = 1.0 + rng.uniform(-jitter, jitter)
+    return category, float(base * factor)

@@ -1,0 +1,151 @@
+"""Task-mix scenarios (paper Tables 3 and 4).
+
+The paper evaluates ten runtime scenarios, L1–L10, each scheduling a batch
+of 2–30 randomly selected applications; for every scenario ~100 different
+application mixes are tried and every benchmark appears in each scenario
+(Section 5.2).  Table 4 additionally fixes one concrete 30-application mix
+used for the utilisation study of Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.inputs import INPUT_SIZE_GB, InputSize, sample_input_size
+from repro.workloads.suites import ALL_BENCHMARKS, benchmark_by_name
+
+__all__ = [
+    "Job",
+    "SCENARIOS",
+    "TABLE4_MIX",
+    "scenario_app_count",
+    "make_random_mix",
+    "make_scenario_mixes",
+    "make_table4_jobs",
+]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One application submission: a benchmark plus a concrete input size."""
+
+    benchmark: str
+    input_gb: float
+    order: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_gb <= 0:
+            raise ValueError("input_gb must be positive")
+        # Validate the benchmark name eagerly so a typo fails at mix
+        # construction rather than deep inside the simulator.
+        benchmark_by_name(self.benchmark)
+
+
+#: Table 3 — number of applications in each runtime scenario.
+SCENARIOS: dict[str, int] = {
+    "L1": 2,
+    "L2": 6,
+    "L3": 7,
+    "L4": 9,
+    "L5": 11,
+    "L6": 13,
+    "L7": 19,
+    "L8": 23,
+    "L9": 26,
+    "L10": 30,
+}
+
+
+def scenario_app_count(label: str) -> int:
+    """Number of applications in scenario ``label`` (Table 3)."""
+    try:
+        return SCENARIOS[label]
+    except KeyError:
+        raise KeyError(f"unknown scenario label: {label!r}") from None
+
+
+#: Table 4 — the fixed 30-application mix of the L10 utilisation study.
+#: Entries are ``(benchmark, named input size)`` in submission order.
+TABLE4_MIX: tuple[tuple[str, InputSize], ...] = (
+    ("BDB.WordCount", InputSize.MEDIUM),
+    ("SP.Kmeans", InputSize.LARGE),
+    ("SP.glm-classification", InputSize.LARGE),
+    ("SP.glm-regression", InputSize.LARGE),
+    ("SP.Pca", InputSize.MEDIUM),
+    ("SB.SVD++", InputSize.LARGE),
+    ("HB.Scan", InputSize.MEDIUM),
+    ("HB.TeraSort", InputSize.LARGE),
+    ("SB.Hive", InputSize.LARGE),
+    ("SP.NaiveBayes", InputSize.LARGE),
+    ("BDB.PageRank", InputSize.LARGE),
+    ("HB.PageRank", InputSize.MEDIUM),
+    ("SP.DecisionTree", InputSize.MEDIUM),
+    ("SP.Spearman", InputSize.LARGE),
+    ("SB.MatrixFact", InputSize.LARGE),
+    ("BDB.Grep", InputSize.LARGE),
+    ("SB.LogRegre", InputSize.LARGE),
+    ("BDB.NaiveBayes", InputSize.MEDIUM),
+    ("BDB.Kmeans", InputSize.MEDIUM),
+    ("HB.Sort", InputSize.LARGE),
+    ("SP.CoreRDD", InputSize.SMALL),
+    ("SP.Gmm", InputSize.LARGE),
+    ("HB.Join", InputSize.LARGE),
+    ("SP.Sum.Statis", InputSize.MEDIUM),
+    ("SP.B.MatrixMult", InputSize.LARGE),
+    ("BDB.Sort", InputSize.MEDIUM),
+    ("SB.RDDRelation", InputSize.LARGE),
+    ("SP.Pearson", InputSize.LARGE),
+    ("SP.Chi-sq", InputSize.MEDIUM),
+    ("HB.Kmeans", InputSize.LARGE),
+)
+
+
+def make_table4_jobs() -> list[Job]:
+    """The Table 4 mix as concrete :class:`Job` objects in submission order."""
+    return [
+        Job(benchmark=name, input_gb=INPUT_SIZE_GB[size], order=i)
+        for i, (name, size) in enumerate(TABLE4_MIX)
+    ]
+
+
+def make_random_mix(n_apps: int, rng: np.random.Generator,
+                    input_jitter: float = 0.25) -> list[Job]:
+    """Draw a random application mix of ``n_apps`` jobs.
+
+    Benchmarks are sampled without replacement first (so small mixes are
+    diverse) and with replacement once every benchmark has been used, which
+    mirrors the paper's requirement that all benchmarks appear across a
+    scenario's mixes.
+    """
+    if n_apps < 1:
+        raise ValueError("n_apps must be at least 1")
+    names = [spec.name for spec in ALL_BENCHMARKS]
+    chosen: list[str] = []
+    pool = list(names)
+    while len(chosen) < n_apps:
+        if not pool:
+            pool = list(names)
+        index = int(rng.integers(0, len(pool)))
+        chosen.append(pool.pop(index))
+    jobs = []
+    for order, name in enumerate(chosen):
+        _, input_gb = sample_input_size(rng, jitter=input_jitter)
+        jobs.append(Job(benchmark=name, input_gb=input_gb, order=order))
+    return jobs
+
+
+def make_scenario_mixes(label: str, n_mixes: int = 5,
+                        seed: int = 0) -> list[list[Job]]:
+    """Generate ``n_mixes`` random mixes for scenario ``label``.
+
+    The paper uses ~100 mixes per scenario; the default here is smaller so
+    the full experiment grid stays tractable on a laptop, and callers can
+    raise ``n_mixes`` for higher-fidelity runs.
+    """
+    if n_mixes < 1:
+        raise ValueError("n_mixes must be at least 1")
+    n_apps = scenario_app_count(label)
+    rng = np.random.default_rng(seed)
+    return [make_random_mix(n_apps, rng) for _ in range(n_mixes)]

@@ -1,0 +1,77 @@
+"""PARSEC-like computation-intensive workloads.
+
+Figure 15 of the paper co-locates twelve C/C++ PARSEC 3.0 benchmarks
+(native inputs) with Spark tasks and reports the slowdown distribution.
+PARSEC binaries are not available offline, so each benchmark is described
+by the parameters the interference model needs: its CPU demand, its memory
+footprint (PARSEC native working sets are small relative to a 64 GB node)
+and its isolated runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ParsecSpec", "PARSEC_BENCHMARKS", "parsec_by_name"]
+
+
+@dataclass(frozen=True)
+class ParsecSpec:
+    """Behavioural description of one PARSEC benchmark (native input).
+
+    Parameters
+    ----------
+    name:
+        Benchmark name as used in the paper's Figure 15.
+    cpu_load:
+        CPU demand as a fraction of one node's compute capacity.  PARSEC
+        programs are compute bound, so these are high (0.6–1.0).
+    footprint_gb:
+        Resident memory of the benchmark with the native input.
+    runtime_min:
+        Isolated execution time in minutes on one node.
+    memory_sensitivity:
+        How strongly the benchmark's progress degrades per unit of
+        co-runner memory-bandwidth pressure; cache-sensitive codes
+        (e.g. canneal, streamcluster) are higher.
+    """
+
+    name: str
+    cpu_load: float
+    footprint_gb: float
+    runtime_min: float
+    memory_sensitivity: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_load <= 1.0:
+            raise ValueError(f"{self.name}: cpu_load must be in (0, 1]")
+        if self.runtime_min <= 0:
+            raise ValueError(f"{self.name}: runtime_min must be positive")
+        if not 0.0 <= self.memory_sensitivity <= 1.0:
+            raise ValueError(f"{self.name}: memory_sensitivity must be in [0, 1]")
+
+
+PARSEC_BENCHMARKS: tuple[ParsecSpec, ...] = (
+    ParsecSpec("Blackscholes", 0.95, 0.7, 6.0, 0.10),
+    ParsecSpec("Bodytrack", 0.90, 0.4, 8.0, 0.25),
+    ParsecSpec("Canneal", 0.70, 1.1, 10.0, 0.65),
+    ParsecSpec("Facesim", 0.85, 0.9, 12.0, 0.40),
+    ParsecSpec("Ferret", 0.88, 0.5, 9.0, 0.35),
+    ParsecSpec("Fluidanimate", 0.92, 0.8, 11.0, 0.45),
+    ParsecSpec("Freqmine", 0.86, 1.3, 10.0, 0.40),
+    ParsecSpec("Raytrace", 0.80, 1.5, 9.0, 0.30),
+    ParsecSpec("Streamcluster", 0.75, 0.3, 13.0, 0.70),
+    ParsecSpec("Swaptions", 0.97, 0.1, 7.0, 0.05),
+    ParsecSpec("Vips", 0.82, 0.6, 8.0, 0.30),
+    ParsecSpec("X264", 0.90, 0.5, 7.0, 0.35),
+)
+
+_BY_NAME = {spec.name: spec for spec in PARSEC_BENCHMARKS}
+
+
+def parsec_by_name(name: str) -> ParsecSpec:
+    """Look up a PARSEC benchmark specification by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown PARSEC benchmark: {name!r}") from None

@@ -1,0 +1,167 @@
+"""The 44-benchmark catalogue used throughout the evaluation.
+
+The paper draws 44 Spark applications from HiBench, BigDataBench,
+Spark-Perf and Spark-Bench (Section 5.1); its predictor is trained on the
+16 HiBench + BigDataBench programs and evaluated on all 44
+(Section 5.2).  The ground-truth coefficients below are synthetic but follow
+the published behaviour:
+
+* the simple data-movement benchmarks (sort/scan/wordcount style) saturate
+  at a few gigabytes per executor and are well described by the exponential
+  family — e.g. the paper fits HiBench Sort with ``m = 5.768, b = 4.479``
+  (Figure 3a);
+* the graph benchmarks keep growing with input size and follow the
+  Napierian-log family — e.g. PageRank with ``m = 16.333, b = 1.79``
+  (Figure 3b);
+* the iterative-ML, statistics and linear-algebra benchmarks grow
+  polynomially with cached data and follow the power-law family;
+* CPU load in isolation is mostly below 40 %, with the bulk of the
+  benchmarks in the 10–40 % range (Figure 13).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.benchmark import (
+    BenchmarkSpec,
+    MemoryBehavior,
+    Suite,
+    WorkloadClass,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "TRAINING_BENCHMARKS",
+    "TEST_ONLY_BENCHMARKS",
+    "benchmark_by_name",
+    "benchmarks_by_suite",
+    "equivalent_benchmarks",
+]
+
+
+def _spec(name, suite, wclass, behavior, m, b, min_fp, cpu, rate, group=None,
+          startup=1.0):
+    return BenchmarkSpec(
+        name=name,
+        suite=suite,
+        workload_class=wclass,
+        memory_behavior=behavior,
+        memory_m=m,
+        memory_b=b,
+        min_footprint_gb=min_fp,
+        cpu_load=cpu,
+        rate_gb_per_min=rate,
+        startup_min=startup,
+        equivalent_group=group,
+    )
+
+
+_HB = Suite.HIBENCH
+_BDB = Suite.BIGDATABENCH
+_SP = Suite.SPARK_PERF
+_SB = Suite.SPARK_BENCH
+
+_EXP = MemoryBehavior.EXPONENTIAL
+_LOG = MemoryBehavior.NAPIERIAN_LOG
+_POW = MemoryBehavior.POWER_LAW
+
+_SHUFFLE = WorkloadClass.SHUFFLE
+_TEXT = WorkloadClass.TEXT
+_SQL = WorkloadClass.SQL
+_GRAPH = WorkloadClass.GRAPH
+_ML = WorkloadClass.ML_ITERATIVE
+_LA = WorkloadClass.LINEAR_ALGEBRA
+
+
+#: The 16 HiBench + BigDataBench programs used to train the memory
+#: functions and the expert selector (paper Section 3.3 and Figure 17).
+TRAINING_BENCHMARKS: tuple[BenchmarkSpec, ...] = (
+    # --- HiBench ------------------------------------------------------
+    _spec("HB.Sort", _HB, _SHUFFLE, _EXP, 5.768, 4.479, 0.45, 0.18, 5.0, "sort"),
+    _spec("HB.TeraSort", _HB, _SHUFFLE, _EXP, 6.4, 2.9, 0.5, 0.27, 4.2, "terasort"),
+    _spec("HB.WordCount", _HB, _TEXT, _EXP, 4.1, 3.6, 0.4, 0.22, 5.5, "wordcount"),
+    _spec("HB.Scan", _HB, _SQL, _EXP, 3.2, 5.1, 0.35, 0.08, 6.0, "scan"),
+    _spec("HB.Aggregation", _HB, _SQL, _EXP, 4.8, 3.1, 0.4, 0.34, 4.5, "aggregation"),
+    _spec("HB.Join", _HB, _SQL, _EXP, 5.3, 2.4, 0.45, 0.28, 3.8, "join"),
+    _spec("HB.PageRank", _HB, _GRAPH, _LOG, 16.333, 1.79, 1.2, 0.30, 2.2, "pagerank"),
+    _spec("HB.Kmeans", _HB, _ML, _POW, 0.62, 0.86, 0.4, 0.36, 2.6, "kmeans"),
+    _spec("HB.Bayes", _HB, _ML, _POW, 0.56, 0.83, 0.4, 0.26, 2.9, "bayes"),
+    # --- BigDataBench --------------------------------------------------
+    _spec("BDB.Sort", _BDB, _SHUFFLE, _LOG, 14.6, 2.4, 1.1, 0.20, 4.6, "sort"),
+    _spec("BDB.WordCount", _BDB, _TEXT, _EXP, 3.7, 4.2, 0.35, 0.24, 5.2, "wordcount"),
+    _spec("BDB.Grep", _BDB, _TEXT, _EXP, 2.9, 4.8, 0.3, 0.12, 6.4, "grep"),
+    _spec("BDB.PageRank", _BDB, _GRAPH, _LOG, 17.4, 2.0, 1.3, 0.32, 2.0, "pagerank"),
+    _spec("BDB.Kmeans", _BDB, _ML, _POW, 0.58, 0.87, 0.4, 0.38, 2.4, "kmeans"),
+    _spec("BDB.Con.Com", _BDB, _GRAPH, _LOG, 15.2, 1.9, 1.2, 0.24, 2.3, "concom"),
+    _spec("BDB.NaiveBayes", _BDB, _ML, _POW, 0.52, 0.82, 0.4, 0.22, 3.1, "bayes"),
+)
+
+
+#: Benchmarks from Spark-Perf and Spark-Bench, used only for evaluation
+#: (the paper never trains on them — Section 3.3).
+TEST_ONLY_BENCHMARKS: tuple[BenchmarkSpec, ...] = (
+    # --- Spark-Perf ----------------------------------------------------
+    _spec("SP.Kmeans", _SP, _ML, _POW, 0.60, 0.85, 0.4, 0.40, 2.5, "kmeans"),
+    _spec("SP.NaiveBayes", _SP, _ML, _POW, 0.54, 0.81, 0.4, 0.24, 3.0, "bayes"),
+    _spec("SP.glm-classification", _SP, _ML, _POW, 0.55, 0.82, 0.4, 0.35, 2.8),
+    _spec("SP.glm-regression", _SP, _ML, _POW, 0.52, 0.84, 0.4, 0.33, 2.7),
+    _spec("SP.Pca", _SP, _LA, _POW, 0.72, 0.78, 0.4, 0.42, 2.2, "pca"),
+    _spec("SP.DecisionTree", _SP, _ML, _POW, 0.48, 0.8, 0.4, 0.30, 3.2),
+    _spec("SP.Gmm", _SP, _ML, _POW, 0.66, 0.88, 0.4, 0.45, 2.1),
+    _spec("SP.Spearman", _SP, _LA, _POW, 0.66, 0.76, 0.4, 0.26, 3.4),
+    _spec("SP.Pearson", _SP, _LA, _POW, 0.6, 0.74, 0.4, 0.22, 3.6),
+    _spec("SP.Chi-sq", _SP, _LA, _POW, 0.5, 0.72, 0.4, 0.18, 3.9),
+    _spec("SP.Sum.Statis", _SP, _LA, _POW, 0.42, 0.7, 0.4, 0.13, 4.4),
+    _spec("SP.CoreRDD", _SP, _SHUFFLE, _EXP, 4.4, 3.3, 0.4, 0.15, 5.3),
+    _spec("SP.B.MatrixMult", _SP, _LA, _POW, 0.85, 0.88, 0.4, 0.52, 1.8),
+    _spec("SP.ALS", _SP, _LA, _POW, 0.7, 0.81, 0.4, 0.40, 2.3),
+    _spec("SP.LDA", _SP, _ML, _POW, 0.68, 0.84, 0.4, 0.38, 2.2),
+    _spec("SP.Word2Vec", _SP, _ML, _POW, 0.57, 0.83, 0.4, 0.34, 2.6),
+    _spec("SP.FPGrowth", _SP, _ML, _POW, 0.59, 0.85, 0.4, 0.29, 2.5),
+    _spec("SP.LabelPropagation", _SP, _GRAPH, _LOG, 15.8, 1.85, 1.2, 0.27, 2.2),
+    # --- Spark-Bench ---------------------------------------------------
+    _spec("SB.Hive", _SB, _SQL, _EXP, 5.1, 2.7, 0.5, 0.20, 4.0, "scan"),
+    _spec("SB.RDDRelation", _SB, _SQL, _EXP, 4.6, 2.9, 0.45, 0.17, 4.3),
+    _spec("SB.MatrixFact", _SB, _LA, _POW, 0.78, 0.85, 0.4, 0.48, 2.0),
+    _spec("SB.SVD++", _SB, _LA, _POW, 0.82, 0.86, 0.4, 0.46, 1.9),
+    _spec("SB.LogRegre", _SB, _ML, _POW, 0.5, 0.83, 0.4, 0.32, 2.9),
+    _spec("SB.TeraSort", _SB, _SHUFFLE, _EXP, 6.1, 3.0, 0.5, 0.24, 4.1, "terasort"),
+    _spec("SB.SVM", _SB, _ML, _POW, 0.53, 0.8, 0.4, 0.31, 2.8),
+    _spec("SB.TriangleCount", _SB, _GRAPH, _LOG, 16.0, 1.9, 1.2, 0.28, 2.1),
+    _spec("SB.ShortestPaths", _SB, _GRAPH, _LOG, 15.4, 1.8, 1.2, 0.25, 2.3),
+    _spec("SB.PCA", _SB, _LA, _POW, 0.69, 0.77, 0.4, 0.41, 2.2, "pca"),
+)
+
+
+#: Every benchmark used in the evaluation (44 applications, four suites).
+ALL_BENCHMARKS: tuple[BenchmarkSpec, ...] = TRAINING_BENCHMARKS + TEST_ONLY_BENCHMARKS
+
+_BY_NAME = {spec.name: spec for spec in ALL_BENCHMARKS}
+
+
+def benchmark_by_name(name: str) -> BenchmarkSpec:
+    """Look up a benchmark specification by its qualified name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark: {name!r}") from None
+
+
+def benchmarks_by_suite(suite: Suite) -> list[BenchmarkSpec]:
+    """All benchmarks belonging to the given suite."""
+    return [spec for spec in ALL_BENCHMARKS if spec.suite is suite]
+
+
+def equivalent_benchmarks(spec: BenchmarkSpec) -> list[BenchmarkSpec]:
+    """Benchmarks implementing the same algorithm in another suite.
+
+    The paper's leave-one-out protocol excludes these from the training set
+    when evaluating ``spec`` (Section 5.2: when testing Sort from HiBench,
+    Sort from BigDataBench is excluded as well).
+    """
+    if spec.equivalent_group is None:
+        return []
+    return [
+        other
+        for other in ALL_BENCHMARKS
+        if other.name != spec.name and other.equivalent_group == spec.equivalent_group
+    ]

@@ -1,0 +1,98 @@
+"""Tests for the expert selector and runtime calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate_memory_function
+from repro.core.expert_selector import ExpertSelector
+from repro.profiling.profiler import CalibrationMeasurement
+from repro.workloads.suites import benchmark_by_name
+
+
+class TestExpertSelector:
+    def fit_selector(self, confidence_radius=None):
+        features = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        families = ["exponential", "exponential", "napierian_log", "napierian_log"]
+        names = ["HB.Sort", "BDB.Grep", "HB.PageRank", "BDB.PageRank"]
+        return ExpertSelector(confidence_radius=confidence_radius).fit(
+            features, families, names)
+
+    def test_predicts_family_of_nearest_program(self):
+        selector = self.fit_selector()
+        prediction = selector.predict_one(np.array([0.05, 0.02]))
+        assert prediction.family == "exponential"
+        assert prediction.nearest_program in ("HB.Sort", "BDB.Grep")
+
+    def test_distance_reported_as_confidence(self):
+        selector = self.fit_selector(confidence_radius=1.0)
+        near = selector.predict_one(np.array([0.0, 0.1]))
+        far = selector.predict_one(np.array([50.0, 50.0]))
+        assert near.confident
+        assert not far.confident
+        assert far.distance > near.distance
+
+    def test_default_confidence_radius_derived_from_training(self):
+        selector = self.fit_selector()
+        assert selector.confidence_radius > 0
+        # Training programs themselves are always within the radius.
+        for row in ([0.0, 0.0], [5.0, 5.0]):
+            assert selector.predict_one(np.array(row)).confident
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ExpertSelector().predict_one(np.array([0.0, 0.0]))
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(ValueError):
+            ExpertSelector().fit(np.zeros((2, 2)), ["a"], ["x", "y"])
+
+    def test_empty_training_set_raises(self):
+        with pytest.raises(ValueError):
+            ExpertSelector().fit(np.zeros((0, 2)), [], [])
+
+    def test_batch_prediction_order(self):
+        selector = self.fit_selector()
+        predictions = selector.predict(np.array([[0.0, 0.0], [5.0, 5.0]]))
+        assert [p.family for p in predictions] == ["exponential", "napierian_log"]
+
+
+class TestCalibration:
+    def test_calibrates_log_family_to_ground_truth(self):
+        spec = benchmark_by_name("HB.PageRank")
+        measurements = (
+            CalibrationMeasurement(2.0, spec.true_footprint_gb(2.0)),
+            CalibrationMeasurement(6.0, spec.true_footprint_gb(6.0)),
+        )
+        function = calibrate_memory_function("napierian_log", measurements)
+        assert function.predict_footprint_gb(25.0) == pytest.approx(
+            spec.true_footprint_gb(25.0), rel=0.02)
+
+    def test_calibrates_power_family_to_ground_truth(self):
+        spec = benchmark_by_name("HB.Kmeans")
+        measurements = (
+            CalibrationMeasurement(2.0, spec.true_footprint_gb(2.0)),
+            CalibrationMeasurement(6.0, spec.true_footprint_gb(6.0)),
+        )
+        function = calibrate_memory_function("power_law", measurements)
+        assert function.predict_footprint_gb(30.0) == pytest.approx(
+            spec.true_footprint_gb(30.0), rel=0.05)
+
+    def test_measurement_order_does_not_matter(self):
+        spec = benchmark_by_name("HB.PageRank")
+        small = CalibrationMeasurement(2.0, spec.true_footprint_gb(2.0))
+        large = CalibrationMeasurement(6.0, spec.true_footprint_gb(6.0))
+        a = calibrate_memory_function("napierian_log", (small, large))
+        b = calibrate_memory_function("napierian_log", (large, small))
+        assert a.predict_footprint_gb(20.0) == pytest.approx(
+            b.predict_footprint_gb(20.0))
+
+    def test_identical_sample_sizes_rejected(self):
+        measurement = CalibrationMeasurement(2.0, 17.0)
+        with pytest.raises(ValueError):
+            calibrate_memory_function("napierian_log", (measurement, measurement))
+
+    def test_unknown_family_rejected(self):
+        measurements = (CalibrationMeasurement(2.0, 17.0),
+                        CalibrationMeasurement(6.0, 19.0))
+        with pytest.raises(KeyError):
+            calibrate_memory_function("quadratic", measurements)

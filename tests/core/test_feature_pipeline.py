@@ -1,0 +1,70 @@
+"""Tests for feature scaling/PCA pipeline and its importance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_pipeline import FeaturePipeline
+from repro.profiling.counters import RAW_FEATURE_NAMES, synthesize_features
+from repro.workloads.suites import TRAINING_BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def training_features():
+    return [synthesize_features(spec) for spec in TRAINING_BENCHMARKS]
+
+
+class TestFeaturePipeline:
+    def test_keeps_at_most_five_components(self, training_features):
+        pipeline = FeaturePipeline().fit(training_features)
+        assert 1 <= pipeline.n_components <= 5
+
+    def test_explains_required_variance(self, training_features):
+        pipeline = FeaturePipeline(variance_to_keep=0.95).fit(training_features)
+        assert pipeline.explained_variance_ratio().sum() >= 0.9
+
+    def test_transform_shape(self, training_features):
+        pipeline = FeaturePipeline().fit(training_features)
+        transformed = pipeline.transform(training_features[:3])
+        assert transformed.shape == (3, pipeline.n_components)
+
+    def test_accepts_feature_vectors_and_arrays(self, training_features):
+        pipeline = FeaturePipeline().fit(training_features)
+        as_array = training_features[0].as_array()
+        a = pipeline.transform([training_features[0]])
+        b = pipeline.transform([as_array])
+        assert np.allclose(a, b)
+
+    def test_transform_before_fit_raises(self, training_features):
+        with pytest.raises(RuntimeError):
+            FeaturePipeline().transform(training_features)
+
+    def test_importance_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FeaturePipeline().feature_importance()
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            FeaturePipeline(variance_to_keep=0.0)
+        with pytest.raises(ValueError):
+            FeaturePipeline(max_components=0)
+
+    def test_feature_importance_covers_all_raw_features(self, training_features):
+        pipeline = FeaturePipeline().fit(training_features)
+        importance = pipeline.feature_importance()
+        assert set(importance) == set(RAW_FEATURE_NAMES)
+        assert sum(importance.values()) == pytest.approx(100.0)
+
+    def test_cache_features_rank_highly(self, training_features):
+        # Figure 4b: L1 miss rates, vcache and block I/O dominate.
+        pipeline = FeaturePipeline().fit(training_features)
+        top = set(pipeline.top_features(6))
+        assert {"L1_TCM", "L1_DCM", "L1_STM", "vcache", "bo"} & top
+
+    def test_same_family_programs_are_neighbours_in_pca_space(self, training_features):
+        pipeline = FeaturePipeline().fit(training_features)
+        by_name = {spec.name: feats for spec, feats
+                   in zip(TRAINING_BENCHMARKS, training_features)}
+        sort = pipeline.transform([by_name["HB.Sort"]])[0]
+        grep = pipeline.transform([by_name["BDB.Grep"]])[0]
+        pagerank = pipeline.transform([by_name["HB.PageRank"]])[0]
+        assert np.linalg.norm(sort - grep) < np.linalg.norm(sort - pagerank)

@@ -1,0 +1,122 @@
+"""Tests for the memory-function experts (paper Table 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory_functions import (
+    MEMORY_FUNCTION_FAMILIES,
+    fit_best_family,
+    make_memory_function,
+)
+
+
+def curve_for(family, m, b, sizes):
+    function = make_memory_function(family)
+    function.model.m, function.model.b = m, b
+    return np.asarray(function.predict_footprint_gb(sizes))
+
+
+class TestRegistry:
+    def test_table1_families_are_registered(self):
+        assert set(MEMORY_FUNCTION_FAMILIES) == {
+            "power_law", "exponential", "napierian_log"
+        }
+
+    def test_make_memory_function_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            make_memory_function("polynomial")
+
+    def test_new_family_can_be_plugged_in(self):
+        # The paper stresses that new experts can be added without touching
+        # the rest of the framework.
+        from repro.ml.regression import LinearRegression
+
+        MEMORY_FUNCTION_FAMILIES["straight_line"] = LinearRegression
+        try:
+            function = make_memory_function("straight_line")
+            function.model.calibrate(1.0, 2.0, 3.0, 6.0)
+            assert function.predict_footprint_gb(5.0) == pytest.approx(10.0)
+        finally:
+            del MEMORY_FUNCTION_FAMILIES["straight_line"]
+
+
+class TestMemoryFunction:
+    def test_coefficients_require_fitting(self):
+        with pytest.raises(RuntimeError):
+            make_memory_function("power_law").coefficients
+
+    def test_prediction_is_floored_at_min_footprint(self):
+        function = make_memory_function("napierian_log", min_footprint_gb=1.5)
+        function.model.m, function.model.b = 0.0, 1.0
+        assert function.predict_footprint_gb(1.0) == pytest.approx(1.5)
+
+    def test_scalar_and_array_predictions_agree(self):
+        function = make_memory_function("power_law")
+        function.model.m, function.model.b = 0.6, 0.85
+        scalar = function.predict_footprint_gb(10.0)
+        array = function.predict_footprint_gb(np.array([10.0]))
+        assert scalar == pytest.approx(array[0])
+
+    def test_data_for_budget_inverts_prediction(self):
+        function = make_memory_function("napierian_log")
+        function.model.m, function.model.b = 16.0, 1.8
+        data = function.data_for_budget_gb(20.0)
+        assert function.predict_footprint_gb(data) <= 20.0 + 1e-6
+        assert function.predict_footprint_gb(data * 1.05) > 20.0
+
+    def test_data_for_budget_zero_for_unusable_budget(self):
+        function = make_memory_function("napierian_log", min_footprint_gb=2.0)
+        function.model.m, function.model.b = 16.0, 1.8
+        assert function.data_for_budget_gb(0.5) == 0.0
+
+    def test_data_for_budget_saturating_family_hits_cap(self):
+        function = make_memory_function("exponential")
+        function.model.m, function.model.b = 5.0, 3.0
+        assert function.data_for_budget_gb(10.0, max_gb=200.0) == pytest.approx(200.0)
+
+    def test_error_metrics(self):
+        function = make_memory_function("power_law")
+        function.model.m, function.model.b = 1.0, 1.0
+        sizes = np.array([1.0, 2.0, 4.0])
+        assert function.error_on(sizes, sizes) == pytest.approx(0.0)
+        assert function.relative_error_on(sizes, sizes * 1.1) == pytest.approx(
+            1.0 / 11.0, rel=1e-6)
+
+    def test_relative_error_rejects_non_positive_observations(self):
+        function = make_memory_function("power_law")
+        function.model.m, function.model.b = 1.0, 1.0
+        with pytest.raises(ValueError):
+            function.relative_error_on([1.0], [0.0])
+
+
+class TestFitBestFamily:
+    SIZES = np.logspace(np.log10(0.5), np.log10(60.0), 12)
+
+    @pytest.mark.parametrize("family,m,b", [
+        ("power_law", 0.6, 0.85),
+        ("exponential", 5.8, 3.5),
+        ("napierian_log", 16.0, 1.8),
+    ])
+    def test_recovers_generating_family(self, family, m, b):
+        rng = np.random.default_rng(0)
+        footprints = curve_for(family, m, b, self.SIZES)
+        footprints *= 1.0 + rng.normal(0.0, 0.01, size=footprints.shape)
+        assert fit_best_family(self.SIZES, footprints).family == family
+
+    def test_requires_three_samples(self):
+        with pytest.raises(ValueError):
+            fit_best_family([1.0, 2.0], [1.0, 2.0])
+
+    def test_requires_matching_shapes(self):
+        with pytest.raises(ValueError):
+            fit_best_family([1.0, 2.0, 3.0], [1.0, 2.0])
+
+    @given(st.floats(0.4, 0.9), st.floats(0.7, 0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_property_power_law_recovery(self, m, b):
+        footprints = curve_for("power_law", m, b, self.SIZES)
+        fitted = fit_best_family(self.SIZES, footprints)
+        assert fitted.family == "power_law"
+        assert fitted.coefficients[0] == pytest.approx(m, rel=0.15)

@@ -1,0 +1,30 @@
+"""Tests for the experiment command-line interface."""
+
+import pytest
+
+from repro.experiments import cli
+
+
+class TestCli:
+    def test_every_paper_artifact_has_an_entry(self):
+        assert {"fig3", "fig4", "fig6", "fig7", "fig9", "fig10", "fig11",
+                "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+                "table5"} <= set(cli.EXPERIMENTS)
+
+    def test_list_option_exits_cleanly(self, capsys):
+        assert cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table5" in out
+
+    def test_no_arguments_behaves_like_list(self, capsys):
+        assert cli.main([]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_unknown_experiment_is_an_error(self, capsys):
+        assert cli.main(["fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_running_a_light_experiment_prints_its_table(self, capsys):
+        assert cli.main(["fig13", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU load distribution" in out

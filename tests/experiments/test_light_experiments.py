@@ -1,0 +1,90 @@
+"""Tests for the lightweight experiment drivers (no cluster simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.moe import MixtureOfExperts
+from repro.core.training import collect_training_data
+from repro.experiments import (
+    fig3_memory_curves,
+    fig4_pca,
+    fig13_cpu_load,
+    fig15_parsec,
+    fig16_clusters,
+    fig17_accuracy,
+    fig18_curves,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return collect_training_data(seed=0)
+
+
+@pytest.fixture(scope="module")
+def moe(dataset):
+    return MixtureOfExperts.from_dataset(dataset)
+
+
+class TestFig3:
+    def test_families_match_the_paper(self, moe):
+        curves = fig3_memory_curves.run(moe=moe)
+        by_name = {c.benchmark: c for c in curves}
+        assert by_name["HB.Sort"].family == "exponential"
+        assert by_name["HB.PageRank"].family == "napierian_log"
+
+    def test_predictions_track_observations(self, moe):
+        curves = fig3_memory_curves.run(moe=moe)
+        assert all(curve.max_relative_error() < 0.3 for curve in curves)
+
+    def test_format_table_mentions_both_benchmarks(self, moe):
+        table = fig3_memory_curves.format_table(fig3_memory_curves.run(moe=moe))
+        assert "HB.Sort" in table and "HB.PageRank" in table
+
+
+class TestFig4:
+    def test_variance_and_importance(self, dataset):
+        analysis = fig4_pca.run(dataset=dataset)
+        assert analysis.cumulative_variance >= 0.95
+        assert len(analysis.explained_variance_ratio) <= 5
+        assert sum(analysis.feature_importance.values()) == pytest.approx(100.0)
+
+    def test_cache_features_among_top(self, dataset):
+        analysis = fig4_pca.run(dataset=dataset)
+        assert {"L1_TCM", "L1_DCM", "L1_STM", "vcache", "bo"} & set(
+            analysis.top_features(6))
+
+
+class TestFig13:
+    def test_histogram_counts_all_benchmarks(self):
+        histogram = fig13_cpu_load.run()
+        assert sum(histogram.counts) == 44
+        assert histogram.fraction_below_40_percent >= 0.6
+
+
+class TestFig15:
+    def test_parsec_slowdowns_modest(self):
+        results = fig15_parsec.run()
+        values = np.concatenate([r.slowdowns_percent for r in results])
+        assert values.max() <= 32.0
+        assert len(results) == 12
+
+
+class TestFig16:
+    def test_three_separable_clusters(self, moe):
+        analysis = fig16_clusters.run(moe=moe)
+        assert set(analysis.families.values()) == {
+            "power_law", "exponential", "napierian_log"}
+        assert analysis.separation_ratio() > 1.0
+
+
+class TestFig17And18:
+    def test_prediction_accuracy_close_to_paper(self, moe):
+        rows = fig17_accuracy.run(moe=moe)
+        assert fig17_accuracy.mean_absolute_error_percent(rows) <= 7.0
+        assert len(rows) == 16
+
+    def test_curves_cover_all_training_programs(self, moe):
+        curves = fig18_curves.run(moe=moe)
+        assert len(curves) == 16
+        assert max(c.mean_relative_error_percent for c in curves) < 20.0

@@ -1,0 +1,99 @@
+"""Tests for STP, ANTT and the schedule evaluation helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.simulator import ClusterSimulator
+from repro.metrics.throughput import (
+    antt,
+    antt_reduction_percent,
+    baseline_turnarounds_min,
+    evaluate_schedule,
+    isolated_reference_min,
+    system_throughput,
+)
+from repro.metrics.throughput import baseline_antt
+from repro.scheduling import IsolatedScheduler, make_oracle_scheduler
+from repro.spark.driver import DynamicAllocationPolicy
+from repro.workloads.mixes import Job
+from repro.workloads.suites import benchmark_by_name
+
+MIX = [Job("HB.Sort", 30.0), Job("BDB.PageRank", 50.0), Job("HB.Scan", 10.0)]
+
+
+def run(scheduler, jobs=MIX, n_nodes=4):
+    simulator = ClusterSimulator(Cluster.homogeneous(n_nodes), scheduler,
+                                 time_step_min=0.5)
+    return simulator.run(jobs)
+
+
+class TestIsolatedReference:
+    def test_matches_spec_runtime_with_dynamic_allocation(self):
+        job = Job("HB.Sort", 50.0)
+        policy = DynamicAllocationPolicy()
+        spec = benchmark_by_name("HB.Sort")
+        expected = spec.isolated_runtime_min(50.0, policy.desired_executors(50.0))
+        assert isolated_reference_min(job, policy) == pytest.approx(expected)
+
+    def test_baseline_turnarounds_accumulate(self):
+        turnarounds = baseline_turnarounds_min(MIX)
+        assert len(turnarounds) == 3
+        assert turnarounds == sorted(turnarounds)
+        assert turnarounds[0] == pytest.approx(isolated_reference_min(MIX[0]))
+
+    def test_baseline_requires_jobs(self):
+        with pytest.raises(ValueError):
+            baseline_turnarounds_min([])
+
+    @given(st.lists(st.sampled_from(["HB.Sort", "HB.Scan", "BDB.Grep"]),
+                    min_size=1, max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_baseline_antt_at_least_one(self, names):
+        jobs = [Job(name, 10.0 + 5 * i) for i, name in enumerate(names)]
+        assert baseline_antt(jobs) >= 1.0
+
+
+class TestScheduleMetrics:
+    def test_stp_bounded_by_job_count(self):
+        result = run(make_oracle_scheduler())
+        stp = system_throughput(result, MIX)
+        assert 0 < stp <= len(MIX)
+
+    def test_antt_at_least_one_for_any_schedule(self):
+        result = run(make_oracle_scheduler())
+        assert antt(result, MIX) >= 1.0
+
+    def test_isolated_schedule_has_lower_stp_than_colocation(self):
+        isolated = run(IsolatedScheduler())
+        colocated = run(make_oracle_scheduler())
+        assert system_throughput(colocated, MIX) > system_throughput(isolated, MIX)
+
+    def test_antt_reduction_positive_for_good_colocation(self):
+        colocated = run(make_oracle_scheduler())
+        assert antt_reduction_percent(colocated, MIX) > 0
+
+    def test_isolated_schedule_antt_close_to_baseline_model(self):
+        # The simulated one-by-one schedule should produce an ANTT close to
+        # the analytic baseline (small differences come from startup costs
+        # and discrete time steps).
+        result = run(IsolatedScheduler())
+        simulated = antt(result, MIX)
+        analytic = baseline_antt(MIX)
+        assert simulated == pytest.approx(analytic, rel=0.35)
+
+    def test_evaluate_schedule_bundles_everything(self):
+        result = run(make_oracle_scheduler())
+        evaluation = evaluate_schedule(result, MIX)
+        assert evaluation.all_finished
+        assert evaluation.stp == pytest.approx(system_throughput(result, MIX))
+        assert evaluation.antt == pytest.approx(antt(result, MIX))
+        assert evaluation.makespan_min == pytest.approx(result.makespan_min)
+        assert 0 <= evaluation.mean_utilization_percent <= 100
+
+    def test_duplicate_benchmarks_are_matched_by_instance(self):
+        jobs = [Job("HB.Sort", 20.0), Job("HB.Sort", 40.0)]
+        result = run(make_oracle_scheduler(), jobs=jobs)
+        # Should not raise: the second instance is matched to "HB.Sort#1".
+        assert system_throughput(result, jobs) > 0

@@ -1,0 +1,96 @@
+"""Tests for utilisation post-processing and the interference helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.simulator import ClusterSimulator, InterferenceModel
+from repro.metrics.slowdown import (
+    parsec_colocation_slowdown_percent,
+    slowdown_percent,
+    spark_bandwidth_pressure,
+)
+from repro.metrics.utilization import downsample_trace, utilization_matrix
+from repro.scheduling import make_oracle_scheduler
+from repro.workloads.mixes import Job
+from repro.workloads.parsec import parsec_by_name
+from repro.workloads.suites import benchmark_by_name
+
+
+class TestUtilization:
+    def test_downsample_preserves_mean(self):
+        trace = np.linspace(0, 100, 120)
+        bins = downsample_trace(trace, 12)
+        assert len(bins) == 12
+        assert bins.mean() == pytest.approx(trace.mean(), rel=0.02)
+
+    def test_downsample_empty_trace(self):
+        assert np.all(downsample_trace([], 5) == 0.0)
+
+    def test_downsample_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            downsample_trace([1.0], 0)
+
+    def test_utilization_matrix_shape_and_range(self):
+        simulator = ClusterSimulator(Cluster.homogeneous(3),
+                                     make_oracle_scheduler(), time_step_min=0.5)
+        result = simulator.run([Job("HB.Sort", 20.0), Job("HB.Scan", 10.0)])
+        times, matrix = utilization_matrix(result, n_bins=10)
+        assert matrix.shape == (3, 10)
+        assert len(times) == 10
+        assert np.all(matrix >= 0.0)
+        assert np.all(matrix <= 100.0)
+
+    def test_utilization_matrix_requires_traces(self):
+        simulator = ClusterSimulator(Cluster.homogeneous(2),
+                                     make_oracle_scheduler(),
+                                     record_utilization=False)
+        result = simulator.run([Job("HB.Scan", 5.0)])
+        with pytest.raises(ValueError):
+            utilization_matrix(result)
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=50),
+           st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_property_downsample_bounded_by_extremes(self, trace, bins):
+        result = downsample_trace(trace, bins)
+        assert result.max() <= max(trace) + 1e-9
+        if bins <= len(trace):
+            # With more bins than samples the surplus bins are empty and
+            # report zero utilisation, so the lower bound only holds when
+            # every bin holds at least one sample.
+            assert result.min() >= min(trace) - 1e-9
+
+
+class TestSlowdown:
+    def test_slowdown_percent_basic(self):
+        assert slowdown_percent(10.0, 12.0) == pytest.approx(20.0)
+        assert slowdown_percent(10.0, 10.0) == pytest.approx(0.0)
+
+    def test_slowdown_requires_positive_isolated_time(self):
+        with pytest.raises(ValueError):
+            slowdown_percent(0.0, 1.0)
+
+    def test_bandwidth_pressure_orders_families(self):
+        streaming = spark_bandwidth_pressure(benchmark_by_name("HB.Sort"))
+        compute = spark_bandwidth_pressure(benchmark_by_name("SP.Sum.Statis"))
+        assert streaming > compute
+
+    def test_parsec_slowdown_bounded_and_sensitive(self):
+        canneal = parsec_by_name("Canneal")
+        swaptions = parsec_by_name("Swaptions")
+        spark = benchmark_by_name("BDB.PageRank")
+        heavy = parsec_colocation_slowdown_percent(canneal, spark)
+        light = parsec_colocation_slowdown_percent(swaptions, spark)
+        assert 0.0 <= light < heavy <= 40.0
+
+    def test_parsec_slowdown_uses_interference_model(self):
+        canneal = parsec_by_name("Canneal")
+        spark = benchmark_by_name("BDB.PageRank")
+        calm = parsec_colocation_slowdown_percent(
+            canneal, spark, InterferenceModel(bandwidth_alpha=0.0))
+        stormy = parsec_colocation_slowdown_percent(
+            canneal, spark, InterferenceModel(bandwidth_alpha=0.07))
+        assert stormy > calm

@@ -1,0 +1,173 @@
+"""Tests covering every classifier used as an expert selector (Table 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    KNeighborsClassifier,
+    LinearSVM,
+    MLPClassifier,
+    RandomForestClassifier,
+    accuracy_score,
+)
+
+ALL_CLASSIFIERS = [
+    KNeighborsClassifier,
+    GaussianNaiveBayes,
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    LinearSVM,
+    MLPClassifier,
+]
+
+
+def make_blobs(n_per_class=30, n_classes=3, spread=0.4, seed=0):
+    """Well-separated Gaussian blobs, one per class label."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [4.0, 4.0], [0.0, 5.0], [5.0, 0.0]])[:n_classes]
+    X, y = [], []
+    for label, center in enumerate(centers):
+        X.append(rng.normal(center, spread, size=(n_per_class, 2)))
+        y.extend([f"class-{label}"] * n_per_class)
+    return np.vstack(X), np.asarray(y)
+
+
+@pytest.mark.parametrize("classifier_cls", ALL_CLASSIFIERS)
+class TestCommonClassifierBehaviour:
+    def test_separable_blobs_are_learned(self, classifier_cls):
+        X, y = make_blobs()
+        model = classifier_cls().fit(X, y)
+        assert accuracy_score(y, model.predict(X)) >= 0.95
+
+    def test_generalises_to_held_out_points(self, classifier_cls):
+        X, y = make_blobs(seed=1)
+        X_test, y_test = make_blobs(n_per_class=10, seed=2)
+        model = classifier_cls().fit(X, y)
+        assert accuracy_score(y_test, model.predict(X_test)) >= 0.9
+
+    def test_predict_before_fit_raises(self, classifier_cls):
+        with pytest.raises(RuntimeError):
+            classifier_cls().predict(np.array([[0.0, 0.0]]))
+
+    def test_mismatched_lengths_raise(self, classifier_cls):
+        with pytest.raises(ValueError):
+            classifier_cls().fit(np.zeros((3, 2)), np.array(["a", "b"]))
+
+    def test_single_sample_prediction_shape(self, classifier_cls):
+        X, y = make_blobs(n_per_class=15)
+        model = classifier_cls().fit(X, y)
+        assert model.predict(np.array([[0.1, 0.1]])).shape == (1,)
+
+
+class TestKNNSpecifics:
+    def test_nearest_neighbour_distance_is_confidence(self):
+        X = np.array([[0.0, 0.0], [10.0, 10.0]])
+        y = np.array(["near", "far"])
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        labels, distances = model.predict_with_confidence(np.array([[0.5, 0.0]]))
+        assert labels[0] == "near"
+        assert distances[0] == pytest.approx(0.5)
+
+    def test_k_larger_than_training_set_is_clamped(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array(["a", "b"])
+        model = KNeighborsClassifier(n_neighbors=10).fit(X, y)
+        assert model.predict(np.array([[0.1]]))[0] == "a"
+
+    def test_majority_vote_with_three_neighbours(self):
+        X = np.array([[0.0], [0.2], [0.4], [10.0]])
+        y = np.array(["a", "a", "b", "b"])
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert model.predict(np.array([[0.1]]))[0] == "a"
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_training_points_are_their_own_neighbours(self, seed):
+        X, y = make_blobs(n_per_class=10, seed=seed)
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) == 1.0
+
+
+class TestDecisionTreeSpecifics:
+    def test_max_depth_limits_tree(self):
+        X, y = make_blobs(n_per_class=40)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_node_count_is_odd_for_binary_tree(self):
+        X, y = make_blobs(n_per_class=20)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count() % 2 == 1
+
+    def test_pure_training_set_yields_single_leaf(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array(["only", "only", "only"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+
+    def test_xor_requires_depth_two(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array(["a", "b", "b", "a"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) == 1.0
+        assert tree.depth() >= 2
+
+
+class TestRandomForestSpecifics:
+    def test_forest_is_deterministic_given_seed(self):
+        X, y = make_blobs()
+        preds_a = RandomForestClassifier(n_estimators=5, seed=7).fit(X, y).predict(X)
+        preds_b = RandomForestClassifier(n_estimators=5, seed=7).fit(X, y).predict(X)
+        assert np.array_equal(preds_a, preds_b)
+
+    def test_invalid_estimator_count_raises(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+
+class TestNaiveBayesSpecifics:
+    def test_probabilities_sum_to_one(self):
+        X, y = make_blobs()
+        model = GaussianNaiveBayes().fit(X, y)
+        probabilities = model.predict_proba(X[:5])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_probabilities_favour_true_class(self):
+        X, y = make_blobs(spread=0.2)
+        model = GaussianNaiveBayes().fit(X, y)
+        probabilities = model.predict_proba(np.array([[0.0, 0.0]]))
+        predicted = model.classes_[np.argmax(probabilities)]
+        assert predicted == "class-0"
+
+
+class TestSVMAndMLPSpecifics:
+    def test_svm_decision_function_shape(self):
+        X, y = make_blobs(n_classes=3)
+        model = LinearSVM(n_iter=50).fit(X, y)
+        assert model.decision_function(X[:4]).shape == (4, 3)
+
+    def test_svm_rejects_invalid_C(self):
+        with pytest.raises(ValueError):
+            LinearSVM(C=0.0)
+
+    def test_mlp_probabilities_sum_to_one(self):
+        X, y = make_blobs()
+        model = MLPClassifier(n_iter=200).fit(X, y)
+        assert np.allclose(model.predict_proba(X[:6]).sum(axis=1), 1.0)
+
+    def test_mlp_learns_xor(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array(["a", "b", "b", "a"])
+        X_rep = np.tile(X, (20, 1))
+        y_rep = np.tile(y, 20)
+        model = MLPClassifier(hidden_units=12, n_iter=3000, learning_rate=0.3, seed=3)
+        model.fit(X_rep, y_rep)
+        assert accuracy_score(y, model.predict(X)) == 1.0

@@ -1,0 +1,132 @@
+"""Tests for evaluation metrics and cross-validation splitters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    KFold,
+    KNeighborsClassifier,
+    LeaveOneOut,
+    accuracy_score,
+    confusion_matrix,
+    cross_val_score,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    r2_score,
+    root_mean_squared_error,
+    train_test_split,
+)
+from repro.ml.metrics import geometric_mean
+
+
+class TestMetrics:
+    def test_accuracy_perfect_and_zero(self):
+        assert accuracy_score(["a", "b"], ["a", "b"]) == 1.0
+        assert accuracy_score(["a", "b"], ["b", "a"]) == 0.0
+
+    def test_accuracy_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            accuracy_score(["a"], ["a", "b"])
+
+    def test_accuracy_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_confusion_matrix_counts(self):
+        matrix = confusion_matrix(["a", "a", "b"], ["a", "b", "b"], labels=["a", "b"])
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+    def test_mae_and_rmse(self):
+        y_true = [1.0, 2.0, 3.0]
+        y_pred = [2.0, 2.0, 5.0]
+        assert mean_absolute_error(y_true, y_pred) == pytest.approx(1.0)
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(
+            np.sqrt(5.0 / 3.0)
+        )
+
+    def test_mape_matches_paper_style_error(self):
+        # A uniform 5 % over-prediction is a 5 % MAPE.
+        y_true = np.array([10.0, 20.0, 40.0])
+        assert mean_absolute_percentage_error(y_true, y_true * 1.05) == pytest.approx(5.0)
+
+    def test_mape_rejects_zero_truth(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([0.0, 1.0], [1.0, 1.0])
+
+    def test_r2_of_perfect_fit_is_one(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        assert r2_score([1.0, 2.0, 3.0], [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_geometric_mean_bounded_by_min_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+class TestSplitters:
+    def test_kfold_covers_every_sample_exactly_once(self):
+        seen = []
+        for _, test_idx in KFold(n_splits=4).split(10):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_kfold_train_and_test_are_disjoint(self):
+        for train_idx, test_idx in KFold(n_splits=3).split(9):
+            assert set(train_idx).isdisjoint(test_idx)
+
+    def test_kfold_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_kfold_rejects_single_split(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_leave_one_out_yields_n_splits(self):
+        splits = list(LeaveOneOut().split(7))
+        assert len(splits) == 7
+        assert all(len(test) == 1 for _, test in splits)
+
+    def test_leave_one_out_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            list(LeaveOneOut().split(1))
+
+    def test_train_test_split_partitions_data(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.3, seed=0)
+        assert len(X_train) + len(X_test) == 10
+        assert len(y_train) == len(X_train)
+        assert len(y_test) == len(X_test)
+
+    def test_train_test_split_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.5)
+
+    def test_cross_val_score_on_separable_data(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 0.2, (15, 2)), rng.normal(5, 0.2, (15, 2))])
+        y = np.array(["a"] * 15 + ["b"] * 15)
+        scores = cross_val_score(lambda: KNeighborsClassifier(), X, y)
+        assert np.mean(scores) >= 0.95
+
+    def test_cross_val_score_with_kfold(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(0, 0.2, (12, 2)), rng.normal(5, 0.2, (12, 2))])
+        y = np.array(["a"] * 12 + ["b"] * 12)
+        scores = cross_val_score(
+            lambda: KNeighborsClassifier(), X, y, splitter=KFold(n_splits=4, shuffle=True, seed=0)
+        )
+        assert len(scores) == 4

@@ -1,0 +1,47 @@
+"""Tests for the MLP regressor used by the unified-ANN baseline (Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPRegressor
+
+
+class TestMLPRegressor:
+    def test_fits_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 10, size=(200, 2))
+        y = 3.0 * X[:, 0] + 1.5 * X[:, 1] + 2.0
+        model = MLPRegressor(hidden_units=16, n_iter=3000, learning_rate=0.02, seed=0)
+        model.fit(X, y)
+        predictions = model.predict(X)
+        relative_error = np.abs(predictions - y) / np.maximum(np.abs(y), 1.0)
+        assert np.median(relative_error) < 0.1
+
+    def test_fits_saturating_curve(self):
+        x = np.linspace(0.01, 5, 150).reshape(-1, 1)
+        y = 6.0 * (1.0 - np.exp(-1.5 * x.ravel()))
+        model = MLPRegressor(hidden_units=24, n_iter=4000, learning_rate=0.02, seed=1)
+        model.fit(x, y)
+        predictions = model.predict(x)
+        assert np.mean(np.abs(predictions - y)) < 0.35
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict(np.array([[1.0]]))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            MLPRegressor().fit(np.zeros((3, 1)), np.zeros(2))
+
+    def test_constant_target_is_learned(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = np.full(50, 7.0)
+        model = MLPRegressor(n_iter=500, seed=2).fit(X, y)
+        assert np.allclose(model.predict(X), 7.0, atol=0.2)
+
+    def test_deterministic_given_seed(self):
+        X = np.linspace(0, 1, 30).reshape(-1, 1)
+        y = 2.0 * X.ravel()
+        preds_a = MLPRegressor(n_iter=300, seed=5).fit(X, y).predict(X)
+        preds_b = MLPRegressor(n_iter=300, seed=5).fit(X, y).predict(X)
+        assert np.allclose(preds_a, preds_b)

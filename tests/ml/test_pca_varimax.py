@@ -1,0 +1,118 @@
+"""Tests for PCA and the Varimax feature-contribution analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import PCA, feature_contributions, varimax
+
+
+def make_correlated_data(n_samples=100, seed=0):
+    """Three latent factors expanded into six correlated observed features."""
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=(n_samples, 3))
+    mixing = np.array(
+        [
+            [1.0, 0.0, 0.0],
+            [0.9, 0.1, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.8, 0.2],
+            [0.0, 0.0, 1.0],
+            [0.1, 0.0, 0.9],
+        ]
+    )
+    return latent @ mixing.T + rng.normal(scale=0.01, size=(n_samples, 6))
+
+
+class TestPCA:
+    def test_explained_variance_ratios_sum_to_at_most_one(self):
+        pca = PCA().fit(make_correlated_data())
+        assert pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+
+    def test_variance_ratios_are_sorted_descending(self):
+        pca = PCA().fit(make_correlated_data())
+        ratios = pca.explained_variance_ratio_
+        assert np.all(np.diff(ratios) <= 1e-12)
+
+    def test_fraction_selection_keeps_enough_components(self):
+        pca = PCA(n_components=0.95).fit(make_correlated_data())
+        assert pca.explained_variance_ratio_.sum() >= 0.95
+
+    def test_three_latent_factors_dominate(self):
+        pca = PCA().fit(make_correlated_data())
+        assert pca.explained_variance_ratio_[:3].sum() > 0.99
+
+    def test_components_are_orthonormal(self):
+        pca = PCA(n_components=3).fit(make_correlated_data())
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_transform_shape(self):
+        X = make_correlated_data()
+        projected = PCA(n_components=2).fit_transform(X)
+        assert projected.shape == (X.shape[0], 2)
+
+    def test_full_rank_inverse_transform_round_trips(self):
+        X = make_correlated_data(n_samples=50)
+        pca = PCA().fit(X)
+        assert np.allclose(pca.inverse_transform(pca.transform(X)), X, atol=1e-8)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA().transform(np.zeros((2, 2)))
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros((1, 4)))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_projection_preserves_total_variance(self, seed):
+        X = make_correlated_data(n_samples=40, seed=seed)
+        pca = PCA().fit(X)
+        projected = pca.transform(X)
+        original_var = np.var(X - X.mean(axis=0), axis=0, ddof=1).sum()
+        projected_var = np.var(projected, axis=0, ddof=1).sum()
+        assert projected_var == pytest.approx(original_var, rel=1e-6)
+
+
+class TestVarimax:
+    def test_rotation_preserves_communalities(self):
+        rng = np.random.default_rng(1)
+        loadings = rng.normal(size=(8, 3))
+        rotated = varimax(loadings)
+        # Row sums of squared loadings (communalities) are invariant under
+        # orthogonal rotation.
+        assert np.allclose(
+            np.sum(loadings ** 2, axis=1), np.sum(rotated ** 2, axis=1), atol=1e-6
+        )
+
+    def test_single_component_is_returned_unchanged(self):
+        loadings = np.array([[0.5], [0.3], [-0.2]])
+        assert np.allclose(varimax(loadings), loadings)
+
+    def test_rejects_one_dimensional_input(self):
+        with pytest.raises(ValueError):
+            varimax(np.array([1.0, 2.0]))
+
+    def test_feature_contributions_sum_to_one_hundred(self):
+        pca = PCA(n_components=3).fit(make_correlated_data())
+        contributions = feature_contributions(pca.components_.T)
+        assert sum(contributions.values()) == pytest.approx(100.0)
+
+    def test_feature_contributions_sorted_descending(self):
+        pca = PCA(n_components=3).fit(make_correlated_data())
+        values = list(feature_contributions(pca.components_.T).values())
+        assert values == sorted(values, reverse=True)
+
+    def test_feature_names_are_used(self):
+        pca = PCA(n_components=2).fit(make_correlated_data())
+        names = [f"feat{i}" for i in range(6)]
+        contributions = feature_contributions(pca.components_.T, feature_names=names)
+        assert set(contributions) == set(names)
+
+    def test_mismatched_names_raise(self):
+        pca = PCA(n_components=2).fit(make_correlated_data())
+        with pytest.raises(ValueError):
+            feature_contributions(pca.components_.T, feature_names=["only-one"])

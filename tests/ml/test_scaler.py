@@ -1,0 +1,85 @@
+"""Unit and property tests for the feature scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import MinMaxScaler, StandardScaler
+
+
+class TestMinMaxScaler:
+    def test_scales_training_data_into_unit_interval(self):
+        X = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_reuses_training_bounds_on_new_data(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[5.0]]))[0, 0] == pytest.approx(0.5)
+
+    def test_out_of_range_values_are_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[25.0]]))[0, 0] == pytest.approx(1.0)
+        assert scaler.transform(np.array([[-5.0]]))[0, 0] == pytest.approx(0.0)
+
+    def test_constant_column_maps_to_zero(self):
+        scaler = MinMaxScaler().fit(np.array([[7.0], [7.0], [7.0]]))
+        assert scaler.transform(np.array([[7.0]]))[0, 0] == pytest.approx(0.0)
+
+    def test_inverse_transform_round_trips(self):
+        X = np.array([[1.0, -3.0], [4.0, 9.0], [2.5, 0.0]])
+        scaler = MinMaxScaler().fit(X)
+        restored = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(restored, X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.array([[1.0]]))
+
+    def test_rejects_one_dimensional_input(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.array([1.0, 2.0]))
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.empty((0, 3)))
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(2, 12), st.integers(1, 6)),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_output_always_in_unit_interval(self, X):
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.all(scaled >= 0.0)
+        assert np.all(scaled <= 1.0)
+
+
+class TestStandardScaler:
+    def test_standardises_to_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_does_not_divide_by_zero(self):
+        X = np.array([[3.0, 1.0], [3.0, 2.0], [3.0, 3.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_round_trips(self):
+        X = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.array([[1.0]]))

@@ -1,0 +1,124 @@
+"""Tests for the synthetic counters and the profiler."""
+
+import numpy as np
+import pytest
+
+from repro.profiling import (
+    RAW_FEATURE_NAMES,
+    FeatureVector,
+    Profiler,
+    synthesize_features,
+)
+from repro.workloads import ALL_BENCHMARKS, benchmark_by_name
+
+
+class TestFeatureVector:
+    def test_there_are_22_raw_features(self):
+        # Table 2 lists 22 raw features.
+        assert len(RAW_FEATURE_NAMES) == 22
+
+    def test_most_important_features_lead_the_table(self):
+        # Figure 4b: cache features dominate, followed by vcache.
+        assert RAW_FEATURE_NAMES[:4] == ("L1_TCM", "L1_DCM", "vcache", "L1_STM")
+
+    def test_vector_requires_exactly_22_values(self):
+        with pytest.raises(ValueError):
+            FeatureVector(values=(1.0, 2.0))
+
+    def test_dict_and_array_views_agree(self):
+        spec = benchmark_by_name("HB.Sort")
+        features = synthesize_features(spec)
+        assert features.as_array().shape == (22,)
+        assert features["L1_TCM"] == features.as_dict()["L1_TCM"]
+
+
+class TestSyntheticFeatures:
+    def test_noise_free_features_are_deterministic(self):
+        spec = benchmark_by_name("HB.Sort")
+        assert synthesize_features(spec) == synthesize_features(spec)
+
+    def test_features_are_non_negative(self):
+        rng = np.random.default_rng(0)
+        for spec in ALL_BENCHMARKS:
+            values = synthesize_features(spec, rng=rng).as_array()
+            assert np.all(values >= 0.0)
+
+    def test_same_family_benchmarks_are_closer_than_cross_family(self):
+        # The property the expert selector relies on (paper Figure 16).
+        sort = synthesize_features(benchmark_by_name("HB.Sort")).as_array()
+        grep = synthesize_features(benchmark_by_name("BDB.Grep")).as_array()
+        pagerank = synthesize_features(benchmark_by_name("HB.PageRank")).as_array()
+        same_family = np.linalg.norm(sort - grep)
+        cross_family = np.linalg.norm(sort - pagerank)
+        assert same_family < cross_family
+
+    def test_distinct_benchmarks_have_distinct_features(self):
+        a = synthesize_features(benchmark_by_name("HB.Sort")).as_array()
+        b = synthesize_features(benchmark_by_name("HB.TeraSort")).as_array()
+        assert not np.allclose(a, b)
+
+    def test_run_noise_perturbs_measurements(self):
+        spec = benchmark_by_name("HB.Sort")
+        rng = np.random.default_rng(1)
+        a = synthesize_features(spec, rng=rng).as_array()
+        b = synthesize_features(spec, rng=rng).as_array()
+        assert not np.allclose(a, b)
+        assert np.allclose(a, b, rtol=0.25)
+
+
+class TestProfiler:
+    def test_profile_report_contains_all_measurements(self):
+        spec = benchmark_by_name("BDB.PageRank")
+        report = Profiler(seed=0).profile("BDB.PageRank", spec, input_gb=280.0)
+        assert report.app_name == "BDB.PageRank"
+        assert len(report.features.as_array()) == 22
+        assert 0.0 < report.cpu_load <= 1.0
+        first, second = report.calibration
+        assert first.sample_gb < second.sample_gb
+        assert first.footprint_gb > 0
+        assert report.total_profiling_min == pytest.approx(
+            report.feature_extraction_min + report.calibration_min
+        )
+
+    def test_calibration_fractions_used_for_small_inputs(self):
+        profiler = Profiler(seed=0)
+        first, second = profiler.calibration_samples_gb(10.0)
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(1.0)
+
+    def test_calibration_samples_capped_for_huge_inputs(self):
+        profiler = Profiler(calibration_cap_gb=4.0, seed=0)
+        first, second = profiler.calibration_samples_gb(1000.0)
+        assert first == pytest.approx(4.0)
+        assert second == pytest.approx(12.0)
+        assert second > first
+
+    def test_measured_cpu_load_tracks_ground_truth(self):
+        spec = benchmark_by_name("HB.Kmeans")
+        profiler = Profiler(seed=2)
+        loads = [profiler.measure_cpu_load(spec) for _ in range(100)]
+        assert np.mean(loads) == pytest.approx(spec.cpu_load, rel=0.05)
+
+    def test_measured_footprint_tracks_ground_truth(self):
+        spec = benchmark_by_name("HB.Kmeans")
+        profiler = Profiler(seed=3)
+        footprints = [profiler.measure_footprint(spec, 2.0) for _ in range(100)]
+        assert np.mean(footprints) == pytest.approx(spec.true_footprint_gb(2.0),
+                                                    rel=0.05)
+
+    def test_profiling_overhead_is_modest_fraction_of_runtime(self):
+        # Figures 11/12: feature extraction + calibration stay a small
+        # fraction of the total execution time.
+        spec = benchmark_by_name("HB.TeraSort")
+        profiler = Profiler(seed=0)
+        report = profiler.profile("HB.TeraSort", spec, input_gb=280.0)
+        isolated = spec.isolated_runtime_min(280.0, n_executors=11)
+        assert report.total_profiling_min < 0.5 * isolated
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            Profiler(calibration_fractions=(0.2, 0.1))
+        with pytest.raises(ValueError):
+            Profiler(calibration_cap_gb=0.0)
+        with pytest.raises(ValueError):
+            Profiler().calibration_samples_gb(0.0)

@@ -1,0 +1,104 @@
+"""Tests for the RDD and stage-DAG models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spark import RDD, Partition, StageDAG, build_lineage_dag
+
+
+class TestPartition:
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Partition(index=-1, size_gb=1.0)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            Partition(index=0, size_gb=0.0)
+
+
+class TestRDD:
+    def test_from_input_size_preserves_total(self):
+        rdd = RDD.from_input_size("data", total_gb=10.0)
+        assert rdd.total_gb == pytest.approx(10.0)
+
+    def test_default_partition_size_is_hdfs_block(self):
+        rdd = RDD.from_input_size("data", total_gb=1.0)
+        assert rdd.partitions[0].size_gb == pytest.approx(0.128)
+
+    def test_tiny_input_yields_single_partition(self):
+        rdd = RDD.from_input_size("tiny", total_gb=0.01)
+        assert rdd.num_partitions == 1
+
+    def test_take_unprocessed_marks_partitions(self):
+        rdd = RDD.from_input_size("data", total_gb=1.0)
+        taken = rdd.take_unprocessed(0.3)
+        assert sum(p.size_gb for p in taken) >= 0.3
+        assert rdd.remaining_gb < rdd.total_gb
+
+    def test_take_unprocessed_eventually_exhausts(self):
+        rdd = RDD.from_input_size("data", total_gb=1.0)
+        while rdd.remaining_gb > 0:
+            assert rdd.take_unprocessed(0.5)
+        assert rdd.is_fully_processed()
+        assert rdd.take_unprocessed(0.5) == []
+
+    def test_take_zero_returns_nothing(self):
+        rdd = RDD.from_input_size("data", total_gb=1.0)
+        assert rdd.take_unprocessed(0.0) == []
+
+    def test_mark_processed_validates_indices(self):
+        rdd = RDD.from_input_size("data", total_gb=1.0)
+        with pytest.raises(ValueError):
+            rdd.mark_processed([999])
+
+    def test_rejects_non_positive_total(self):
+        with pytest.raises(ValueError):
+            RDD.from_input_size("data", total_gb=0.0)
+
+    @given(st.floats(0.05, 50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_partition_sizes_sum_to_total(self, total):
+        rdd = RDD.from_input_size("data", total_gb=total)
+        assert sum(p.size_gb for p in rdd.partitions) == pytest.approx(total, rel=1e-9)
+
+
+class TestStageDAG:
+    def test_single_stage_has_unit_work(self):
+        dag = StageDAG.single_stage()
+        assert dag.work_fraction == {"scan": 1.0}
+        assert dag.critical_path_length() == 1
+
+    def test_iterative_dag_is_a_chain(self):
+        dag = StageDAG.iterative(5)
+        assert dag.critical_path_length() == 5
+        assert dag.parallel_width() == 1
+
+    def test_iterative_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            StageDAG.iterative(0)
+
+    def test_work_fractions_are_normalised(self):
+        dag = StageDAG.iterative(4)
+        assert sum(dag.work_fraction.values()) == pytest.approx(1.0)
+
+    def test_stages_are_topologically_ordered(self):
+        dag = StageDAG.iterative(3)
+        stages = dag.stages()
+        assert stages == ["iteration-0", "iteration-1", "iteration-2"]
+
+    def test_build_lineage_dag_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            build_lineage_dag({"a": ("b",), "b": ("a",)})
+
+    def test_build_lineage_dag_edges_point_parent_to_child(self):
+        graph = build_lineage_dag({"child": ("parent",)})
+        assert graph.has_edge("parent", "child")
+
+    def test_diamond_dag_parallel_width(self):
+        graph = build_lineage_dag({
+            "left": ("root",), "right": ("root",), "sink": ("left", "right"),
+        })
+        dag = StageDAG(graph=graph)
+        assert dag.parallel_width() == 2
+        assert dag.critical_path_length() == 3

@@ -1,0 +1,168 @@
+"""Tests for the benchmark catalogue and ground-truth behaviour models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    TRAINING_BENCHMARKS,
+    BenchmarkSpec,
+    MemoryBehavior,
+    Suite,
+    WorkloadClass,
+    benchmark_by_name,
+    benchmarks_by_suite,
+    equivalent_benchmarks,
+)
+
+
+class TestCatalogue:
+    def test_there_are_44_benchmarks(self):
+        # Paper Section 5.1: 44 applications from four suites.
+        assert len(ALL_BENCHMARKS) == 44
+
+    def test_benchmark_names_are_unique(self):
+        names = [spec.name for spec in ALL_BENCHMARKS]
+        assert len(names) == len(set(names))
+
+    def test_training_set_is_the_16_hibench_bigdatabench_programs(self):
+        # Paper Section 5.2: models are trained on 16 HiBench/BigDataBench
+        # benchmarks.
+        assert len(TRAINING_BENCHMARKS) == 16
+        assert all(
+            spec.suite in (Suite.HIBENCH, Suite.BIGDATABENCH)
+            for spec in TRAINING_BENCHMARKS
+        )
+
+    def test_four_suites_are_represented(self):
+        assert {spec.suite for spec in ALL_BENCHMARKS} == set(Suite)
+
+    def test_all_three_memory_families_are_used(self):
+        assert {spec.memory_behavior for spec in ALL_BENCHMARKS} == set(MemoryBehavior)
+
+    def test_lookup_by_name(self):
+        assert benchmark_by_name("HB.Sort").suite is Suite.HIBENCH
+
+    def test_lookup_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_by_name("HB.DoesNotExist")
+
+    def test_benchmarks_by_suite_partitions_catalogue(self):
+        total = sum(len(benchmarks_by_suite(suite)) for suite in Suite)
+        assert total == len(ALL_BENCHMARKS)
+
+    def test_equivalent_benchmarks_are_symmetric(self):
+        hb_sort = benchmark_by_name("HB.Sort")
+        bdb_sort = benchmark_by_name("BDB.Sort")
+        assert bdb_sort in equivalent_benchmarks(hb_sort)
+        assert hb_sort in equivalent_benchmarks(bdb_sort)
+
+    def test_equivalent_benchmarks_excludes_self(self):
+        spec = benchmark_by_name("HB.PageRank")
+        assert spec not in equivalent_benchmarks(spec)
+
+    def test_cpu_loads_follow_figure13_distribution(self):
+        # Figure 13: the CPU load of most benchmarks in isolation is below
+        # 40 %, and every benchmark stays below ~60 %.
+        loads = np.array([spec.cpu_load for spec in ALL_BENCHMARKS])
+        assert np.mean(loads < 0.4) >= 0.6
+        assert loads.max() <= 0.6
+        assert loads.min() > 0.0
+
+    def test_paper_coefficients_for_sort_and_pagerank(self):
+        # Figure 3 quotes the fitted coefficients for Sort and PageRank.
+        sort = benchmark_by_name("HB.Sort")
+        assert sort.memory_behavior is MemoryBehavior.EXPONENTIAL
+        assert sort.memory_m == pytest.approx(5.768)
+        assert sort.memory_b == pytest.approx(4.479)
+        pagerank = benchmark_by_name("HB.PageRank")
+        assert pagerank.memory_behavior is MemoryBehavior.NAPIERIAN_LOG
+        assert pagerank.memory_m == pytest.approx(16.333)
+        assert pagerank.memory_b == pytest.approx(1.79)
+
+
+class TestGroundTruthBehaviour:
+    @pytest.mark.parametrize("spec", ALL_BENCHMARKS, ids=lambda s: s.name)
+    def test_footprint_is_monotone_non_decreasing(self, spec):
+        sizes = np.logspace(-3, 3, 40)
+        footprints = [spec.true_footprint_gb(size) for size in sizes]
+        assert all(b >= a - 1e-9 for a, b in zip(footprints, footprints[1:]))
+
+    @pytest.mark.parametrize("spec", ALL_BENCHMARKS, ids=lambda s: s.name)
+    def test_footprint_never_below_minimum(self, spec):
+        for size in (0.0, 1e-6, 0.01, 1.0, 100.0):
+            assert spec.true_footprint_gb(size) >= spec.min_footprint_gb - 1e-12
+
+    def test_footprint_rejects_negative_input(self):
+        with pytest.raises(ValueError):
+            benchmark_by_name("HB.Sort").true_footprint_gb(-1.0)
+
+    def test_executor_footprints_fit_a_node_for_default_splits(self):
+        # A default executor caches ~25 GB; its footprint must fit well
+        # within a 64 GB node or the paper's co-location story would not
+        # hold for isolated execution either.
+        for spec in ALL_BENCHMARKS:
+            assert spec.true_footprint_gb(25.0) < 40.0
+
+    def test_data_for_budget_inverts_footprint(self):
+        spec = benchmark_by_name("HB.PageRank")
+        budget = 20.0
+        data = spec.data_for_budget_gb(budget)
+        assert spec.true_footprint_gb(data) <= budget + 1e-6
+        # Slightly more data must exceed the budget unless the curve has
+        # saturated (it has not, for the log family at this size).
+        assert spec.true_footprint_gb(data * 1.1) > budget
+
+    def test_data_for_budget_returns_zero_when_budget_below_minimum(self):
+        spec = benchmark_by_name("HB.PageRank")
+        assert spec.data_for_budget_gb(0.1) == 0.0
+
+    def test_data_for_budget_handles_saturating_family(self):
+        spec = benchmark_by_name("HB.Sort")  # saturates around 5.768 GB
+        data = spec.data_for_budget_gb(10.0, max_gb=500.0)
+        assert data == pytest.approx(500.0)
+
+    def test_isolated_runtime_scales_with_executors(self):
+        spec = benchmark_by_name("HB.Sort")
+        one = spec.isolated_runtime_min(100.0, n_executors=1)
+        four = spec.isolated_runtime_min(100.0, n_executors=4)
+        assert four < one
+        assert four > spec.startup_min
+
+    def test_isolated_runtime_rejects_bad_arguments(self):
+        spec = benchmark_by_name("HB.Sort")
+        with pytest.raises(ValueError):
+            spec.isolated_runtime_min(-1.0)
+        with pytest.raises(ValueError):
+            spec.isolated_runtime_min(1.0, n_executors=0)
+
+    def test_observed_footprint_is_noisy_but_close(self):
+        spec = benchmark_by_name("BDB.Kmeans")
+        rng = np.random.default_rng(0)
+        truth = spec.true_footprint_gb(50.0)
+        samples = [spec.observed_footprint_gb(50.0, rng=rng, noise=0.02)
+                   for _ in range(200)]
+        assert np.mean(samples) == pytest.approx(truth, rel=0.02)
+        assert np.std(samples) > 0
+
+    def test_observed_footprint_without_rng_is_exact(self):
+        spec = benchmark_by_name("BDB.Kmeans")
+        assert spec.observed_footprint_gb(50.0) == spec.true_footprint_gb(50.0)
+
+    def test_invalid_spec_parameters_raise(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(
+                name="bad", suite=Suite.HIBENCH, workload_class=WorkloadClass.TEXT,
+                memory_behavior=MemoryBehavior.EXPONENTIAL, memory_m=1.0,
+                memory_b=1.0, min_footprint_gb=0.1, cpu_load=1.5,
+                rate_gb_per_min=1.0,
+            )
+
+    @given(st.floats(0.01, 500.0), st.floats(0.01, 500.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_footprint_monotonicity(self, a, b):
+        spec = benchmark_by_name("SP.Pca")
+        low, high = min(a, b), max(a, b)
+        assert spec.true_footprint_gb(low) <= spec.true_footprint_gb(high) + 1e-9

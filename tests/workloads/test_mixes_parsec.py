@@ -1,0 +1,117 @@
+"""Tests for task-mix generation (Tables 3 and 4) and the PARSEC catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    PARSEC_BENCHMARKS,
+    SCENARIOS,
+    TABLE4_MIX,
+    InputSize,
+    Job,
+    make_scenario_mixes,
+    sample_input_size,
+    scenario_app_count,
+)
+from repro.workloads.mixes import make_random_mix, make_table4_jobs
+from repro.workloads.parsec import parsec_by_name
+from repro.workloads.inputs import INPUT_SIZE_GB
+
+
+class TestScenarios:
+    def test_table3_scenario_sizes(self):
+        assert SCENARIOS == {
+            "L1": 2, "L2": 6, "L3": 7, "L4": 9, "L5": 11,
+            "L6": 13, "L7": 19, "L8": 23, "L9": 26, "L10": 30,
+        }
+
+    def test_scenario_app_count_lookup(self):
+        assert scenario_app_count("L7") == 19
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            scenario_app_count("L11")
+
+    def test_make_scenario_mixes_produces_requested_count_and_size(self):
+        mixes = make_scenario_mixes("L4", n_mixes=3, seed=1)
+        assert len(mixes) == 3
+        assert all(len(mix) == 9 for mix in mixes)
+
+    def test_mixes_are_deterministic_given_seed(self):
+        a = make_scenario_mixes("L2", n_mixes=2, seed=42)
+        b = make_scenario_mixes("L2", n_mixes=2, seed=42)
+        assert a == b
+
+    def test_small_mixes_do_not_repeat_benchmarks(self):
+        mix = make_random_mix(10, np.random.default_rng(0))
+        names = [job.benchmark for job in mix]
+        assert len(names) == len(set(names))
+
+    def test_large_mixes_cover_many_benchmarks(self):
+        mix = make_random_mix(44, np.random.default_rng(0))
+        assert len({job.benchmark for job in mix}) == 44
+
+    def test_invalid_mix_size_raises(self):
+        with pytest.raises(ValueError):
+            make_random_mix(0, np.random.default_rng(0))
+
+
+class TestTable4:
+    def test_table4_has_30_applications(self):
+        assert len(TABLE4_MIX) == 30
+
+    def test_table4_jobs_are_ordered_and_valid(self):
+        jobs = make_table4_jobs()
+        assert [job.order for job in jobs] == list(range(30))
+        assert all(job.input_gb > 0 for job in jobs)
+
+    def test_table4_contains_the_paper_named_entries(self):
+        names = [name for name, _ in TABLE4_MIX]
+        assert names[0] == "BDB.WordCount"
+        assert "SP.CoreRDD" in names
+        assert names[-1] == "HB.Kmeans"
+
+    def test_table4_mixes_small_medium_and_large_inputs(self):
+        sizes = {size for _, size in TABLE4_MIX}
+        assert sizes == {InputSize.SMALL, InputSize.MEDIUM, InputSize.LARGE}
+
+
+class TestJobsAndInputs:
+    def test_job_rejects_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            Job(benchmark="Nope.Nope", input_gb=1.0)
+
+    def test_job_rejects_non_positive_input(self):
+        with pytest.raises(ValueError):
+            Job(benchmark="HB.Sort", input_gb=0.0)
+
+    def test_sample_input_size_categories_match_magnitudes(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            category, gigabytes = sample_input_size(rng)
+            base = INPUT_SIZE_GB[category]
+            assert 0.7 * base <= gigabytes <= 1.3 * base
+
+    def test_sample_input_size_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            sample_input_size(np.random.default_rng(0), jitter=1.5)
+
+
+class TestParsec:
+    def test_twelve_parsec_benchmarks(self):
+        # Figure 15 shows twelve PARSEC applications.
+        assert len(PARSEC_BENCHMARKS) == 12
+
+    def test_parsec_names_match_figure15(self):
+        names = {spec.name for spec in PARSEC_BENCHMARKS}
+        assert {"Blackscholes", "Canneal", "Streamcluster", "X264"} <= names
+
+    def test_parsec_benchmarks_are_compute_bound(self):
+        assert all(spec.cpu_load >= 0.6 for spec in PARSEC_BENCHMARKS)
+
+    def test_parsec_lookup(self):
+        assert parsec_by_name("Canneal").memory_sensitivity > 0.5
+
+    def test_parsec_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            parsec_by_name("NotABenchmark")
