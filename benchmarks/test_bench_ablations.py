@@ -17,7 +17,6 @@ import pytest
 from benchmarks.conftest import run_once
 from repro.cluster.cluster import paper_cluster
 from repro.cluster.simulator import ClusterSimulator
-from repro.core.moe import MixtureOfExperts
 from repro.metrics.throughput import evaluate_schedule
 from repro.profiling.profiler import Profiler
 from repro.scheduling import make_moe_scheduler

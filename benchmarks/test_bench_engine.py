@@ -1,0 +1,44 @@
+"""Throughput benchmark: fixed-step vs event-driven simulation engine.
+
+Runs the same L8 scenario mix under our scheduler with both engines so the
+pytest-benchmark table shows their relative throughput; the event engine
+must reproduce the fixed-step result exactly while skipping the steps at
+which nothing can change.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.simulator import ClusterSimulator
+from repro.workloads.mixes import make_scenario_mixes
+
+_RESULTS = {}
+
+
+def _simulate(suite, step_mode):
+    mix = make_scenario_mixes("L8", n_mixes=1, seed=11)[0]
+    simulator = ClusterSimulator(paper_cluster(), suite.factory("ours")(),
+                                 seed=11, step_mode=step_mode)
+    return simulator.run(mix)
+
+
+@pytest.mark.figure
+def test_bench_engine_fixed_step(benchmark, suite):
+    result = run_once(benchmark, _simulate, suite, "fixed")
+    assert result.all_finished()
+    _RESULTS["fixed"] = result
+
+
+@pytest.mark.figure
+def test_bench_engine_event_driven(benchmark, suite):
+    result = run_once(benchmark, _simulate, suite, "event")
+    assert result.all_finished()
+    _RESULTS["event"] = result
+    fixed = _RESULTS.get("fixed")
+    if fixed is not None:
+        assert result.makespan_min == pytest.approx(fixed.makespan_min,
+                                                    rel=1e-9)
+        for name, app in fixed.apps.items():
+            assert result.apps[name].turnaround_min() == pytest.approx(
+                app.turnaround_min(), rel=1e-9)

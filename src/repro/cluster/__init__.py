@@ -10,10 +10,11 @@ package provides the equivalent simulated infrastructure:
 * :mod:`repro.cluster.yarn` — the resource-manager bookkeeping used by the
   job dispatcher to reserve executor containers;
 * :mod:`repro.cluster.events` — the simulation clock and event log;
-* :mod:`repro.cluster.simulator` — a time-stepped co-location simulator
-  that models CPU contention, memory-bandwidth interference, paging when a
-  node's resident memory exceeds its RAM, and out-of-memory executor
-  failures.
+* :mod:`repro.cluster.simulator` — the co-location simulator, modelling
+  CPU contention, memory-bandwidth interference, paging when a node's
+  resident memory exceeds its RAM, and out-of-memory executor failures;
+* :mod:`repro.cluster.engine` — the engines advancing simulated time: the
+  event-driven default and the fixed-step fallback.
 """
 
 from repro.cluster.node import Node
@@ -21,6 +22,11 @@ from repro.cluster.cluster import Cluster, paper_cluster
 from repro.cluster.events import Event, EventKind, EventLog
 from repro.cluster.resource_monitor import ResourceMonitor
 from repro.cluster.yarn import ContainerRequest, ResourceManager
+from repro.cluster.engine import (
+    STEP_MODES,
+    EventDrivenEngine,
+    FixedStepEngine,
+)
 from repro.cluster.simulator import (
     ClusterSimulator,
     InterferenceModel,
@@ -38,6 +44,9 @@ __all__ = [
     "ResourceMonitor",
     "ContainerRequest",
     "ResourceManager",
+    "STEP_MODES",
+    "EventDrivenEngine",
+    "FixedStepEngine",
     "ClusterSimulator",
     "InterferenceModel",
     "SimulationResult",

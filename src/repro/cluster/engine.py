@@ -1,0 +1,484 @@
+"""Simulation engines that advance the cluster through simulated time.
+
+Two interchangeable engines drive :class:`~repro.cluster.simulator.ClusterSimulator`:
+
+* :class:`FixedStepEngine` — the original behaviour: every ``time_step_min``
+  of simulated time the scheduler is consulted and every executor advances
+  by one step.  Robust and simple, but the cost of one schedule grows with
+  its makespan divided by the step length, regardless of how little happens.
+* :class:`EventDrivenEngine` — between scheduler invocations nothing changes
+  the per-executor progress rates (footprints follow the *assigned* data,
+  which only schedulers alter, and contention factors follow node
+  membership), so the engine analytically computes the next state-changing
+  event — earliest executor finish, profiling-ready transition, a
+  scheduler-requested wake-up, or the rescan tick that bounds how stale a
+  waiting queue may become — and jumps simulated time directly to it,
+  computing per-node progress with NumPy instead of per-executor Python
+  loops.  Out-of-memory kills and paging transitions can only occur when
+  node membership changes, so they are resolved instantaneously right
+  after each scheduler invocation.
+
+Every event time is rounded **up to the ``time_step_min`` grid**, which is
+where executor finishes land under the fixed-step engine and hence where
+schedulers observe freed resources.  Because reservations, footprints and
+contention factors are all piecewise-constant between scheduler
+invocations, the grid-aligned jumps reproduce the fixed-step trajectory —
+placements, failures, finish times and monitor samples — while skipping
+every step at which nothing can change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.events import EventKind
+from repro.spark.application import ApplicationState
+from repro.spark.executor import Executor, ExecutorState
+
+__all__ = ["STEP_MODES", "FixedStepEngine", "EventDrivenEngine", "make_engine"]
+
+#: Step modes understood by :func:`make_engine` / ``ClusterSimulator``.
+STEP_MODES: tuple[str, ...] = ("fixed", "event")
+
+
+class _EngineBase:
+    """State shared by both engines.
+
+    The engine owns the *dynamics* of a simulation — how executors make
+    progress and how failures are resolved — while the simulator owns the
+    *state*: cluster, applications, monitor, event log and result assembly.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    # ------------------------------------------------------------------
+    # Shared recovery / completion logic
+    # ------------------------------------------------------------------
+    def rerun_oom_data_in_isolation(self, context) -> None:
+        """Re-run data from OOM-killed executors on idle nodes, in isolation.
+
+        The replacement executor gets the node to itself and a reservation of
+        the node's full RAM, mirroring the paper's recovery policy; only as
+        much data as provably fits the node is handed out per replacement.
+        """
+        sim = self.sim
+        for app_name, pending_gb in list(sim.oom_retry_gb.items()):
+            if pending_gb <= 1e-9:
+                continue
+            app = sim.apps[app_name]
+            spec = sim.specs[app_name]
+            for node in sim.cluster.idle_nodes():
+                if pending_gb <= 1e-9:
+                    break
+                safe_gb = spec.data_for_budget_gb(node.ram_gb * 0.9,
+                                                  max_gb=pending_gb)
+                chunk = min(pending_gb, max(safe_gb, 0.1))
+                app.return_unassigned(chunk)
+                executor = context.spawn_executor(app, node.node_id,
+                                                  node.ram_gb, chunk)
+                if executor is None:
+                    app.take_unassigned(chunk)
+                    continue
+                pending_gb -= chunk
+            sim.oom_retry_gb[app_name] = pending_gb
+
+    def finalize_completed_apps(self, now: float) -> None:
+        """Mark applications whose every gigabyte has been processed."""
+        sim = self.sim
+        for app in sim.submission_order:
+            if app.state is ApplicationState.FINISHED:
+                continue
+            if sim.oom_retry_gb.get(app.name, 0.0) > 1e-9:
+                continue
+            if app.is_complete():
+                # Account for the fixed startup cost once, at completion;
+                # it is small relative to execution time.
+                app.mark_finished(now + sim.specs[app.name].startup_min)
+                sim.events.record(app.finish_time, EventKind.APP_FINISHED,
+                                  app=app.name)
+
+    def _all_finished(self) -> bool:
+        return all(app.state is ApplicationState.FINISHED
+                   for app in self.sim.submission_order)
+
+    def _resolve_node_oom(self, node, now: float, footprint_of):
+        """Kill the most recently placed executors until the node fits.
+
+        Out-of-memory handling shared by both engines: while the
+        aggregate ground-truth footprint exceeds RAM + swap and at least
+        two executors co-run, the executor with the largest id (the most
+        recently placed) fails, its unprocessed data is booked for the
+        isolated re-run queue, and the node is re-evaluated.  Returns the
+        surviving active executors and their total resident footprint.
+        """
+        sim = self.sim
+        active = node.active_executors()
+        total_memory = sum(footprint_of(e) for e in active)
+        while total_memory > node.ram_gb + node.swap_gb and len(active) > 1:
+            victim = max(active, key=lambda e: e.executor_id)
+            lost = victim.fail_out_of_memory()
+            sim.oom_retry_gb[victim.app_name] = (
+                sim.oom_retry_gb.get(victim.app_name, 0.0) + lost
+            )
+            node.remove_executor(victim)
+            self._forget_executor(victim)
+            sim.events.record(now, EventKind.EXECUTOR_OOM,
+                              app=victim.app_name, node_id=node.node_id,
+                              detail=f"returned={lost:.1f}GB")
+            active = node.active_executors()
+            total_memory = sum(footprint_of(e) for e in active)
+        return active, total_memory
+
+    def _forget_executor(self, executor: Executor) -> None:
+        """Hook: an executor left the cluster (finished or killed)."""
+
+
+class FixedStepEngine(_EngineBase):
+    """Advance time in constant ``time_step_min`` increments."""
+
+    def run(self, context) -> float:
+        sim = self.sim
+        now = 0.0
+        while now < sim.max_time_min:
+            context.now = now
+            self.rerun_oom_data_in_isolation(context)
+            sim.scheduler.schedule(context)
+            self._advance_executors(now)
+            now += sim.time_step_min
+            self.finalize_completed_apps(now)
+            if self._all_finished():
+                break
+        return now
+
+    def _advance_executors(self, now: float) -> None:
+        sim = self.sim
+        dt = sim.time_step_min
+        # The utilisation timestamp and every per-node trace sample are
+        # recorded here, side by side, so index ``i`` of ``utilization_times``
+        # is the sample time (minutes) of index ``i`` of every node trace.
+        if sim.record_utilization:
+            sim._utilization_times.append(now)
+        for node in sim.cluster.nodes:
+            active = node.active_executors()
+            if not active:
+                sim.monitor.record(now, node.node_id, 0.0, 0.0)
+                if sim.record_utilization:
+                    sim._utilization[node.node_id].append(0.0)
+                continue
+
+            active, total_memory = self._resolve_node_oom(
+                node, now,
+                lambda e: sim.specs[e.app_name].true_footprint_gb(e.cached_gb()))
+
+            total_cpu = sum(e.cpu_demand for e in active)
+            cpu_factor = 1.0 if total_cpu <= 1.0 else 1.0 / total_cpu
+            paging = total_memory > node.ram_gb
+            if paging:
+                sim.events.record(now, EventKind.NODE_PAGING,
+                                  node_id=node.node_id,
+                                  detail=f"resident={total_memory:.1f}GB")
+            memory_factor = sim.interference.paging_slowdown if paging else 1.0
+            bandwidth_factor = sim.interference.bandwidth_factor(len(active))
+
+            for executor in list(active):
+                spec = sim.specs[executor.app_name]
+                rate = (spec.rate_gb_per_min * cpu_factor * memory_factor
+                        * bandwidth_factor)
+                executor.advance(rate * dt)
+                if executor.state is ExecutorState.FINISHED:
+                    node.remove_executor(executor)
+                    sim.events.record(now + dt, EventKind.EXECUTOR_FINISHED,
+                                      app=executor.app_name,
+                                      node_id=node.node_id)
+
+            utilization = min(total_cpu, 1.0) * cpu_factor * 100.0
+            sim.monitor.record(now, node.node_id, total_memory,
+                               min(total_cpu, 1.0))
+            if sim.record_utilization:
+                sim._utilization[node.node_id].append(utilization)
+
+
+@dataclass
+class _NodeState:
+    """Frozen dynamics of one node between two consecutive events."""
+
+    node: object
+    active: list[Executor]
+    rates: list[float]         # GB/min of progress per active executor
+    total_memory_gb: float     # aggregate resident footprint (ground truth)
+    total_cpu: float           # aggregate CPU demand
+    utilization: float         # effective CPU utilisation, percent
+
+
+@dataclass
+class _ClusterState:
+    """Cluster-wide dynamics between two events, flattened for NumPy.
+
+    ``executors``/``nodes``/``rates`` are parallel, one entry per active
+    executor across the whole cluster, so progress and finish-time math is
+    a single vectorised expression instead of a per-executor Python loop.
+    """
+
+    per_node: list[_NodeState]
+    executors: list[Executor]
+    nodes: list[object]
+    rates: np.ndarray
+    remaining: np.ndarray
+
+
+class EventDrivenEngine(_EngineBase):
+    """Jump simulated time directly to the next state-changing event.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.cluster.simulator.ClusterSimulator`.
+    rescan_min:
+        Upper bound on one time jump while applications are waiting for
+        resources (or OOM data awaits an idle node).  It bounds how long a
+        queued application can be ignored between resource events, covering
+        schedulers whose decisions depend on slowly changing state such as
+        the windowed resource monitor.  Defaults to five fixed steps.
+    """
+
+    def __init__(self, sim, rescan_min: float | None = None) -> None:
+        super().__init__(sim)
+        if rescan_min is None:
+            rescan_min = 5.0 * sim.time_step_min
+        if rescan_min <= 0:
+            raise ValueError("rescan_min must be positive")
+        self.rescan_min = rescan_min
+        # executor_id -> (assigned_gb, footprint_gb); footprints follow the
+        # assigned data, so the cache invalidates itself when a dispatcher
+        # grows an executor's share.
+        self._footprints: dict[int, tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, context) -> float:
+        sim = self.sim
+        eps = 1e-9
+        now = 0.0
+        sample_idx = 0  # next uniform sample grid index (time = idx * dt)
+        while now < sim.max_time_min - eps:
+            context.now = now
+            self.rerun_oom_data_in_isolation(context)
+            sim.scheduler.schedule(context)
+            self._kill_oom_victims(now)
+            state = self._cluster_state(now)
+            t_next = min(self._next_finish(now, state),
+                         self._next_profiling_ready(now),
+                         self._scheduler_wake(now),
+                         self._rescan_tick(now),
+                         sim.max_time_min)
+            if not math.isfinite(t_next):
+                # No executor running, nothing queued, nothing pending:
+                # the remaining applications finished this very epoch.
+                break
+            if t_next <= now + eps:  # safety net; events are strictly future
+                t_next = now + sim.time_step_min
+            sample_idx = self._record_interval(now, t_next, state.per_node,
+                                               sample_idx)
+            self._advance(state, t_next - now, t_next)
+            now = t_next
+            self.finalize_completed_apps(now)
+            if self._all_finished():
+                break
+        return now
+
+    # ------------------------------------------------------------------
+    # Event horizon
+    # ------------------------------------------------------------------
+    def _align(self, t: float, now: float) -> float:
+        """Round an event time up to the ``time_step_min`` grid, after ``now``.
+
+        The fixed-step engine only observes state at grid points, so grid
+        alignment is what makes the two engines produce the same
+        trajectory instead of merely similar ones.
+        """
+        if not math.isfinite(t):
+            return t
+        dt = self.sim.time_step_min
+        aligned = math.ceil(t / dt - 1e-9) * dt
+        if aligned <= now + 1e-9:
+            aligned = (math.floor(now / dt + 1e-9) + 1) * dt
+        return aligned
+
+    def _next_finish(self, now: float, state: _ClusterState) -> float:
+        """Earliest completion time of any running executor, grid-aligned."""
+        if not state.executors:
+            return math.inf
+        earliest = now + float(np.min(state.remaining / state.rates))
+        return self._align(earliest, now)
+
+    def _next_profiling_ready(self, now: float) -> float:
+        """Earliest future profiling-window expiry of an unfinished app."""
+        sim = self.sim
+        ready = min((t for name, t in sim.ready_time.items()
+                     if t > now + 1e-9
+                     and sim.apps[name].state is not ApplicationState.FINISHED),
+                    default=math.inf)
+        return self._align(ready, now)
+
+    def _scheduler_wake(self, now: float) -> float:
+        """Next wake-up the scheduler itself asks for (e.g. search trials)."""
+        wake = getattr(self.sim.scheduler, "next_wake_min", None)
+        if wake is None:
+            return math.inf
+        return self._align(float(wake(now)), now)
+
+    def _rescan_tick(self, now: float) -> float:
+        """Bound the jump while work is queued for resources.
+
+        Waiting applications (ready, with unassigned data) and pending OOM
+        re-runs may become schedulable for reasons no analytic event
+        captures — a scheduler consulting the sliding monitor window, say —
+        so the engine re-invokes the scheduler at least every
+        ``rescan_min`` while such work exists.
+        """
+        sim = self.sim
+        for app in sim.submission_order:
+            if app.state is ApplicationState.FINISHED:
+                continue
+            if sim.oom_retry_gb.get(app.name, 0.0) > 1e-9:
+                return self._align(now + self.rescan_min, now)
+            if (app.unassigned_gb > 1e-6
+                    and sim.ready_time[app.name] <= now + 1e-9):
+                return self._align(now + self.rescan_min, now)
+        return math.inf
+
+    # ------------------------------------------------------------------
+    # Instantaneous failure resolution
+    # ------------------------------------------------------------------
+    def _footprint(self, executor: Executor) -> float:
+        cached = self._footprints.get(executor.executor_id)
+        assigned = executor.cached_gb()
+        if cached is not None and cached[0] == assigned:
+            return cached[1]
+        footprint = self.sim.specs[executor.app_name].true_footprint_gb(assigned)
+        self._footprints[executor.executor_id] = (assigned, footprint)
+        return footprint
+
+    def _forget_executor(self, executor: Executor) -> None:
+        self._footprints.pop(executor.executor_id, None)
+
+    def _kill_oom_victims(self, now: float) -> None:
+        """Resolve OOM kills right after placement decisions.
+
+        Footprints only change when node membership (or an executor's data
+        share) changes, which happens exclusively inside scheduler
+        invocations — so swap exhaustion is an instantaneous consequence of
+        placement, not something that develops between events.
+        """
+        for node in self.sim.cluster.nodes:
+            if len(node.active_executors()) <= 1:
+                continue
+            self._resolve_node_oom(node, now, self._footprint)
+
+    # ------------------------------------------------------------------
+    # Piecewise-constant dynamics
+    # ------------------------------------------------------------------
+    def _cluster_state(self, now: float) -> _ClusterState:
+        sim = self.sim
+        per_node: list[_NodeState] = []
+        flat_executors: list[Executor] = []
+        flat_nodes: list[object] = []
+        flat_rates: list[float] = []
+        for node in sim.cluster.nodes:
+            active = node.active_executors()
+            if not active:
+                per_node.append(_NodeState(node=node, active=[], rates=[],
+                                           total_memory_gb=0.0, total_cpu=0.0,
+                                           utilization=0.0))
+                continue
+            total_memory = sum(self._footprint(e) for e in active)
+            total_cpu = node.reserved_cpu_load
+            cpu_factor = 1.0 if total_cpu <= 1.0 else 1.0 / total_cpu
+            paging = total_memory > node.ram_gb
+            if paging:
+                sim.events.record(now, EventKind.NODE_PAGING,
+                                  node_id=node.node_id,
+                                  detail=f"resident={total_memory:.1f}GB")
+            memory_factor = sim.interference.paging_slowdown if paging else 1.0
+            factor = (cpu_factor * memory_factor
+                      * sim.interference.bandwidth_factor(len(active)))
+            rates = [sim.specs[e.app_name].rate_gb_per_min * factor
+                     for e in active]
+            per_node.append(_NodeState(
+                node=node, active=active, rates=rates,
+                total_memory_gb=total_memory, total_cpu=total_cpu,
+                utilization=min(total_cpu, 1.0) * cpu_factor * 100.0,
+            ))
+            flat_executors.extend(active)
+            flat_nodes.extend([node] * len(active))
+            flat_rates.extend(rates)
+        n = len(flat_executors)
+        rates_arr = np.fromiter(flat_rates, dtype=float, count=n)
+        remaining = np.fromiter((e.remaining_gb for e in flat_executors),
+                                dtype=float, count=n)
+        return _ClusterState(per_node=per_node, executors=flat_executors,
+                             nodes=flat_nodes, rates=rates_arr,
+                             remaining=remaining)
+
+    def _record_interval(self, t0: float, t1: float,
+                         states: list[_NodeState], sample_idx: int) -> int:
+        """Record monitor/utilisation samples on the uniform grid in [t0, t1).
+
+        The node state is constant over the interval, so every grid point it
+        covers receives the same values — reproducing exactly the samples
+        the fixed-step engine would have recorded.
+        """
+        sim = self.sim
+        dt = sim.time_step_min
+        times = []
+        t = sample_idx * dt
+        while t < t1 - 1e-9:
+            times.append(t)
+            sample_idx += 1
+            t = sample_idx * dt
+        if not times:
+            return sample_idx
+        if sim.record_utilization:
+            sim._utilization_times.extend(times)
+        for state in states:
+            sim.monitor.record_many(times, state.node.node_id,
+                                    state.total_memory_gb,
+                                    min(state.total_cpu, 1.0))
+            if sim.record_utilization:
+                sim._utilization[state.node.node_id].extend(
+                    [state.utilization] * len(times))
+        return sample_idx
+
+    def _advance(self, state: _ClusterState, delta_min: float,
+                 t_end: float) -> None:
+        sim = self.sim
+        if not state.executors:
+            return
+        progress = state.rates * delta_min
+        # Only executors whose remaining work is covered by this jump can
+        # finish; everyone else just has progress booked.
+        done_mask = progress >= state.remaining - 1e-9
+        for i, (executor, gained) in enumerate(zip(state.executors, progress)):
+            executor.advance(float(gained))
+            if done_mask[i] and executor.state is ExecutorState.FINISHED:
+                node = state.nodes[i]
+                node.remove_executor(executor)
+                self._forget_executor(executor)
+                sim.events.record(t_end, EventKind.EXECUTOR_FINISHED,
+                                  app=executor.app_name,
+                                  node_id=node.node_id)
+
+
+def make_engine(step_mode: str, sim, **kwargs):
+    """Build the engine for ``step_mode`` (one of :data:`STEP_MODES`)."""
+    if step_mode == "fixed":
+        return FixedStepEngine(sim)
+    if step_mode == "event":
+        return EventDrivenEngine(sim, **kwargs)
+    raise ValueError(
+        f"unknown step_mode {step_mode!r}; expected one of {STEP_MODES}")

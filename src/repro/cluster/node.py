@@ -39,6 +39,16 @@ class Node:
     swap_gb: float = 16.0
     cores: int = 16
     executors: list[Executor] = field(default_factory=list)
+    # Reservation aggregates are queried by schedulers many times per
+    # placement pass; they are cached and invalidated on membership changes
+    # and executor state transitions (executors notify their node).
+    _dirty: bool = field(default=True, init=False, repr=False, compare=False)
+    _active: list[Executor] = field(default_factory=list, init=False,
+                                    repr=False, compare=False)
+    _reserved_memory: float = field(default=0.0, init=False, repr=False,
+                                    compare=False)
+    _reserved_cpu: float = field(default=0.0, init=False, repr=False,
+                                 compare=False)
 
     def __post_init__(self) -> None:
         if self.ram_gb <= 0:
@@ -56,20 +66,38 @@ class Node:
         if executor.node_id != self.node_id:
             raise ValueError("executor is destined for a different node")
         self.executors.append(executor)
+        executor._node = self
+        self.invalidate_reservations()
         self.rebalance_threads()
 
     def remove_executor(self, executor: Executor) -> None:
         """Remove an executor (finished or failed) from this node."""
         self.executors.remove(executor)
+        executor._node = None
+        self.invalidate_reservations()
         self.rebalance_threads()
+
+    def invalidate_reservations(self) -> None:
+        """Drop the cached aggregates (membership or activity changed)."""
+        self._dirty = True
+
+    def _refresh(self) -> None:
+        if not self._dirty:
+            return
+        self._active = [e for e in self.executors if e.is_active]
+        self._reserved_memory = sum(e.memory_budget_gb for e in self._active)
+        self._reserved_cpu = sum(e.cpu_demand for e in self._active)
+        self._dirty = False
 
     def active_executors(self) -> list[Executor]:
         """Executors still running work on this node."""
-        return [e for e in self.executors if e.is_active]
+        self._refresh()
+        return list(self._active)
 
     def applications(self) -> set[str]:
         """Names of the applications with an active executor on this node."""
-        return {e.app_name for e in self.active_executors()}
+        self._refresh()
+        return {e.app_name for e in self._active}
 
     def rebalance_threads(self) -> None:
         """Evenly distribute the node's cores across active executors.
@@ -91,7 +119,8 @@ class Node:
     @property
     def reserved_memory_gb(self) -> float:
         """Total heap granted to executors still running on this node."""
-        return sum(e.memory_budget_gb for e in self.executors if e.is_active)
+        self._refresh()
+        return self._reserved_memory
 
     @property
     def free_reserved_memory_gb(self) -> float:
@@ -101,7 +130,8 @@ class Node:
     @property
     def reserved_cpu_load(self) -> float:
         """Aggregate CPU demand of the active executors on this node."""
-        return sum(e.cpu_demand for e in self.active_executors())
+        self._refresh()
+        return self._reserved_cpu
 
     @property
     def free_cpu_load(self) -> float:

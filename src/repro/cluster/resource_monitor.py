@@ -52,6 +52,25 @@ class ResourceMonitor:
         while samples and samples[0].time < cutoff:
             samples.popleft()
 
+    def record_many(self, times: list[float], node_id: int, memory_gb: float,
+                    cpu_load: float) -> None:
+        """Record one usage sample per timestamp, with constant values.
+
+        The event-driven engine uses this to backfill the uniform sampling
+        grid over an interval during which a node's usage did not change;
+        the window is trimmed once, against the newest timestamp.
+        """
+        if not times:
+            return
+        if memory_gb < 0 or cpu_load < 0:
+            raise ValueError("usage samples cannot be negative")
+        samples = self._samples[node_id]
+        samples.extend(_Sample(time=t, memory_gb=memory_gb, cpu_load=cpu_load)
+                       for t in times)
+        cutoff = times[-1] - self.window_min
+        while samples and samples[0].time < cutoff:
+            samples.popleft()
+
     def reported_memory_gb(self, node_id: int) -> float:
         """Windowed average memory usage of a node (0 when never sampled)."""
         samples = self._samples.get(node_id)

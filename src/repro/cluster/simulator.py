@@ -1,10 +1,13 @@
-"""Time-stepped co-location simulator.
+"""The co-location simulator.
 
 This is the execution substrate standing in for the paper's 40-node
-Spark/YARN cluster.  It advances simulated time in small steps; at every
-step the active scheduler is consulted (it may spawn new executors on
-nodes with spare resources), and then every executor makes progress at a
-rate degraded by three interference effects:
+Spark/YARN cluster.  Simulated time is advanced by one of two engines
+(:mod:`repro.cluster.engine`): the default event-driven engine jumps
+directly between state-changing events, while ``step_mode="fixed"``
+advances time in small constant steps.  Either way the active scheduler is
+consulted between advances (it may spawn new executors on nodes with spare
+resources), and every executor makes progress at a rate degraded by three
+interference effects:
 
 * **CPU contention** — when the aggregate CPU demand of the executors on a
   node exceeds 100 %, every executor's progress is scaled down
@@ -33,11 +36,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.engine import STEP_MODES, make_engine
 from repro.cluster.events import EventKind, EventLog
 from repro.cluster.resource_monitor import ResourceMonitor
 from repro.cluster.yarn import ContainerRequest, ResourceManager
 from repro.spark.application import ApplicationState, SparkApplication
-from repro.spark.executor import Executor, ExecutorState
+from repro.spark.executor import Executor
 from repro.workloads.benchmark import BenchmarkSpec
 from repro.workloads.mixes import Job
 from repro.workloads.suites import benchmark_by_name
@@ -80,7 +84,25 @@ class InterferenceModel:
 
 @dataclass
 class SimulationResult:
-    """Outcome of one simulated schedule."""
+    """Outcome of one simulated schedule.
+
+    Parameters
+    ----------
+    apps:
+        Submitted applications by instance name.
+    events:
+        Chronological log of everything notable that happened.
+    makespan_min:
+        Completion time of the last application, in minutes.
+    utilization_times:
+        Sample timestamps in simulated **minutes**, one per recorded sample:
+        ``utilization_times[i]`` is the time at which sample ``i`` of every
+        node trace in :attr:`utilization_trace` was taken.  Samples lie on
+        the uniform ``time_step_min`` grid under both step modes.
+    utilization_trace:
+        Per-node CPU utilisation samples in **percent**, aligned index by
+        index with :attr:`utilization_times`.
+    """
 
     apps: dict[str, SparkApplication]
     events: EventLog
@@ -223,11 +245,18 @@ class ClusterSimulator:
                  monitor_window_min: float = 5.0,
                  max_time_min: float = 50_000.0,
                  record_utilization: bool = True,
-                 seed: int | None = 0) -> None:
+                 seed: int | None = 0,
+                 step_mode: str = "event",
+                 rescan_min: float | None = None) -> None:
         if time_step_min <= 0:
             raise ValueError("time_step_min must be positive")
         if max_time_min <= 0:
             raise ValueError("max_time_min must be positive")
+        if step_mode not in STEP_MODES:
+            raise ValueError(f"step_mode must be one of {STEP_MODES}, "
+                             f"got {step_mode!r}")
+        self.step_mode = step_mode
+        self.rescan_min = rescan_min
         self.cluster = cluster
         self.scheduler = scheduler
         self.time_step_min = time_step_min
@@ -276,112 +305,6 @@ class ClusterSimulator:
                 self.events.record(delay, EventKind.PROFILING_FINISHED, app=name)
 
     # ------------------------------------------------------------------
-    # Core step
-    # ------------------------------------------------------------------
-    def _advance_executors(self, now: float) -> None:
-        dt = self.time_step_min
-        for node in self.cluster.nodes:
-            active = node.active_executors()
-            if not active:
-                self.monitor.record(now, node.node_id, 0.0, 0.0)
-                if self.record_utilization:
-                    self._utilization[node.node_id].append(0.0)
-                continue
-
-            footprints = {
-                e.executor_id: self.specs[e.app_name].true_footprint_gb(e.cached_gb())
-                for e in active
-            }
-            total_memory = sum(footprints.values())
-
-            # Out-of-memory: kill the most recently placed executors until
-            # the remainder fits in RAM + swap.
-            while total_memory > node.ram_gb + node.swap_gb and len(active) > 1:
-                victim = max(active, key=lambda e: e.executor_id)
-                lost = victim.fail_out_of_memory()
-                self.oom_retry_gb[victim.app_name] = (
-                    self.oom_retry_gb.get(victim.app_name, 0.0) + lost
-                )
-                node.remove_executor(victim)
-                self.events.record(now, EventKind.EXECUTOR_OOM,
-                                   app=victim.app_name, node_id=node.node_id,
-                                   detail=f"returned={lost:.1f}GB")
-                active = node.active_executors()
-                footprints = {
-                    e.executor_id:
-                        self.specs[e.app_name].true_footprint_gb(e.cached_gb())
-                    for e in active
-                }
-                total_memory = sum(footprints.values())
-
-            total_cpu = sum(e.cpu_demand for e in active)
-            cpu_factor = 1.0 if total_cpu <= 1.0 else 1.0 / total_cpu
-            paging = total_memory > node.ram_gb
-            if paging:
-                self.events.record(now, EventKind.NODE_PAGING,
-                                   node_id=node.node_id,
-                                   detail=f"resident={total_memory:.1f}GB")
-            memory_factor = self.interference.paging_slowdown if paging else 1.0
-            bandwidth_factor = self.interference.bandwidth_factor(len(active))
-
-            for executor in list(active):
-                spec = self.specs[executor.app_name]
-                rate = (spec.rate_gb_per_min * cpu_factor * memory_factor
-                        * bandwidth_factor)
-                executor.advance(rate * dt)
-                if executor.state is ExecutorState.FINISHED:
-                    node.remove_executor(executor)
-                    self.events.record(now + dt, EventKind.EXECUTOR_FINISHED,
-                                       app=executor.app_name,
-                                       node_id=node.node_id)
-
-            utilization = min(total_cpu, 1.0) * cpu_factor * 100.0
-            self.monitor.record(now, node.node_id, total_memory,
-                                min(total_cpu, 1.0))
-            if self.record_utilization:
-                self._utilization[node.node_id].append(utilization)
-
-    def _rerun_oom_data_in_isolation(self, context: "SchedulingContext") -> None:
-        """Re-run data from OOM-killed executors on idle nodes, in isolation.
-
-        The replacement executor gets the node to itself and a reservation of
-        the node's full RAM, mirroring the paper's recovery policy; only as
-        much data as provably fits the node is handed out per replacement.
-        """
-        for app_name, pending_gb in list(self.oom_retry_gb.items()):
-            if pending_gb <= 1e-9:
-                continue
-            app = self.apps[app_name]
-            spec = self.specs[app_name]
-            for node in self.cluster.idle_nodes():
-                if pending_gb <= 1e-9:
-                    break
-                safe_gb = spec.data_for_budget_gb(node.ram_gb * 0.9,
-                                                  max_gb=pending_gb)
-                chunk = min(pending_gb, max(safe_gb, 0.1))
-                app.return_unassigned(chunk)
-                executor = context.spawn_executor(app, node.node_id,
-                                                  node.ram_gb, chunk)
-                if executor is None:
-                    app.take_unassigned(chunk)
-                    continue
-                pending_gb -= chunk
-            self.oom_retry_gb[app_name] = pending_gb
-
-    def _finalize_completed_apps(self, now: float) -> None:
-        for app in self.submission_order:
-            if app.state is ApplicationState.FINISHED:
-                continue
-            if self.oom_retry_gb.get(app.name, 0.0) > 1e-9:
-                continue
-            if app.is_complete():
-                # Account for the fixed startup cost once, at completion;
-                # it is small relative to execution time.
-                app.mark_finished(now + self.specs[app.name].startup_min)
-                self.events.record(app.finish_time, EventKind.APP_FINISHED,
-                                   app=app.name)
-
-    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def run(self, jobs: list[Job]) -> SimulationResult:
@@ -391,23 +314,15 @@ class ClusterSimulator:
         self._utilization: dict[int, list[float]] = {
             node.node_id: [] for node in self.cluster.nodes
         }
-        utilization_times: list[float] = []
+        self._utilization_times: list[float] = []
         self._submit(jobs)
         context = SchedulingContext(self)
 
-        now = 0.0
-        while now < self.max_time_min:
-            context.now = now
-            self._rerun_oom_data_in_isolation(context)
-            self.scheduler.schedule(context)
-            if self.record_utilization:
-                utilization_times.append(now)
-            self._advance_executors(now)
-            now += self.time_step_min
-            self._finalize_completed_apps(now)
-            if all(app.state is ApplicationState.FINISHED
-                   for app in self.submission_order):
-                break
+        engine_kwargs = {}
+        if self.step_mode == "event" and self.rescan_min is not None:
+            engine_kwargs["rescan_min"] = self.rescan_min
+        engine = make_engine(self.step_mode, self, **engine_kwargs)
+        now = engine.run(context)
 
         makespan = max(
             (app.finish_time for app in self.submission_order
@@ -418,6 +333,6 @@ class ClusterSimulator:
             apps=dict(self.apps),
             events=self.events,
             makespan_min=float(makespan),
-            utilization_times=utilization_times,
+            utilization_times=self._utilization_times,
             utilization_trace=self._utilization if self.record_utilization else {},
         )

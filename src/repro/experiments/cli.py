@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.experiments.cli --list
     python -m repro.experiments.cli fig6 fig17 table5
     python -m repro.experiments.cli all --quick
+    python -m repro.experiments.cli fig6 --workers 4 --engine event
 
 Every experiment prints the same rows/series as the corresponding paper
 artefact; ``--quick`` shrinks the simulation grids so the full set finishes
@@ -33,81 +34,96 @@ from repro.experiments import (
     headline,
     table5_classifiers,
 )
+from repro.cluster.engine import STEP_MODES
 from repro.experiments.common import SchedulerSuite
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _run_fig6(suite, quick):
-    scenarios = ("L1", "L3", "L5", "L8", "L10") if quick else tuple(
+def _run_fig6(suite, options):
+    scenarios = ("L1", "L3", "L5", "L8", "L10") if options.quick else tuple(
         f"L{i}" for i in range(1, 11))
-    results = fig6_overall.run(scenarios=scenarios, n_mixes=2 if quick else 5,
-                               suite=suite)
+    results = fig6_overall.run(scenarios=scenarios,
+                               n_mixes=2 if options.quick else 5,
+                               suite=suite, engine=options.engine,
+                               workers=options.workers)
     print(fig6_overall.format_table(results))
     print(headline.format_table(headline.summarize(results)))
 
 
-def _run_fig9(suite, quick):
-    scenarios = ("L3", "L5", "L8") if quick else tuple(f"L{i}" for i in range(1, 11))
+def _run_fig9(suite, options):
+    scenarios = (("L3", "L5", "L8") if options.quick
+                 else tuple(f"L{i}" for i in range(1, 11)))
     print(fig9_unified.format_table(
-        fig9_unified.run(scenarios=scenarios, n_mixes=1 if quick else 3,
-                         suite=suite)))
+        fig9_unified.run(scenarios=scenarios,
+                         n_mixes=1 if options.quick else 3,
+                         suite=suite, engine=options.engine,
+                         workers=options.workers)))
 
 
-def _run_fig10(suite, quick):
-    scenarios = ("L3", "L5") if quick else tuple(f"L{i}" for i in range(1, 11))
+def _run_fig10(suite, options):
+    scenarios = (("L3", "L5") if options.quick
+                 else tuple(f"L{i}" for i in range(1, 11)))
     print(fig10_online_search.format_table(
-        fig10_online_search.run(scenarios=scenarios, n_mixes=1 if quick else 3,
-                                suite=suite)))
+        fig10_online_search.run(scenarios=scenarios,
+                                n_mixes=1 if options.quick else 3,
+                                suite=suite, engine=options.engine,
+                                workers=options.workers)))
 
 
-def _run_fig11_12(suite, quick):
-    scenarios = ("L1", "L5") if quick else ("L1", "L3", "L5", "L8", "L10")
+def _run_fig7(suite, options):
+    print(fig7_8_utilization.format_table(
+        fig7_8_utilization.run(suite=suite, engine=options.engine)))
+
+
+def _run_fig11_12(suite, options):
+    scenarios = (("L1", "L5") if options.quick
+                 else ("L1", "L3", "L5", "L8", "L10"))
     per_scenario = fig11_12_overhead.run_per_scenario(scenarios=scenarios,
-                                                      n_mixes=1, suite=suite)
+                                                      n_mixes=1, suite=suite,
+                                                      engine=options.engine)
     per_benchmark = fig11_12_overhead.run_per_benchmark()
     print(fig11_12_overhead.format_table(per_scenario, per_benchmark))
 
 
-def _run_fig14(suite, quick):
-    kwargs = {"co_runners_per_target": 4} if quick else {"co_runners_per_target": 10}
+def _run_fig14(suite, options):
+    kwargs = ({"co_runners_per_target": 4} if options.quick
+              else {"co_runners_per_target": 10})
     print(fig14_interference.format_table(
-        fig14_interference.run(suite=suite, **kwargs)))
+        fig14_interference.run(suite=suite, engine=options.engine, **kwargs)))
 
 
-#: Experiment name -> (description, runner taking (suite, quick)).
+#: Experiment name -> (description, runner taking (suite, options)).
 EXPERIMENTS = {
     "fig3": ("Figure 3 — Sort/PageRank memory curves",
-             lambda suite, quick: print(fig3_memory_curves.format_table(
+             lambda suite, options: print(fig3_memory_curves.format_table(
                  fig3_memory_curves.run(moe=suite.moe)))),
     "fig4": ("Figure 4 / Table 2 — PCA variance and feature importance",
-             lambda suite, quick: print(fig4_pca.format_table(
+             lambda suite, options: print(fig4_pca.format_table(
                  fig4_pca.run(dataset=suite.dataset)))),
     "fig6": ("Figure 6 — STP/ANTT for Pairwise, Quasar, ours, Oracle", _run_fig6),
-    "fig7": ("Figures 7/8 — Table 4 mix utilisation and turnaround",
-             lambda suite, quick: print(fig7_8_utilization.format_table(
-                 fig7_8_utilization.run(suite=suite)))),
+    "fig7": ("Figures 7/8 — Table 4 mix utilisation and turnaround", _run_fig7),
     "fig9": ("Figure 9 — unified single-model comparison", _run_fig9),
     "fig10": ("Figure 10 — online-search comparison", _run_fig10),
     "fig11": ("Figures 11/12 — profiling overhead", _run_fig11_12),
     "fig13": ("Figure 13 — CPU load distribution",
-              lambda suite, quick: print(fig13_cpu_load.format_table(
+              lambda suite, options: print(fig13_cpu_load.format_table(
                   fig13_cpu_load.run()))),
     "fig14": ("Figure 14 — Spark co-location interference", _run_fig14),
     "fig15": ("Figure 15 — PARSEC co-location interference",
-              lambda suite, quick: print(fig15_parsec.format_table(
+              lambda suite, options: print(fig15_parsec.format_table(
                   fig15_parsec.run()))),
     "fig16": ("Figure 16 — feature-space clusters",
-              lambda suite, quick: print(fig16_clusters.format_table(
+              lambda suite, options: print(fig16_clusters.format_table(
                   fig16_clusters.run(moe=suite.moe)))),
     "fig17": ("Figure 17 — prediction accuracy",
-              lambda suite, quick: print(fig17_accuracy.format_table(
+              lambda suite, options: print(fig17_accuracy.format_table(
                   fig17_accuracy.run(moe=suite.moe)))),
     "fig18": ("Figure 18 — per-benchmark memory curves",
-              lambda suite, quick: print(fig18_curves.format_table(
+              lambda suite, options: print(fig18_curves.format_table(
                   fig18_curves.run(moe=suite.moe)))),
     "table5": ("Table 5 — classifier comparison",
-               lambda suite, quick: print(table5_classifiers.format_table(
+               lambda suite, options: print(table5_classifiers.format_table(
                    table5_classifiers.run(dataset=suite.dataset)))),
 }
 
@@ -122,7 +138,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="list available experiments and exit")
     parser.add_argument("--quick", action="store_true",
                         help="use reduced simulation grids")
+    parser.add_argument("--engine", choices=list(STEP_MODES), default="event",
+                        help="simulation engine: 'event' jumps between "
+                             "state changes, 'fixed' advances in constant "
+                             "steps (default: event)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for the scenario-grid "
+                             "experiments fig6/fig9/fig10; other "
+                             "experiments run in-process (default: 1)")
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
 
     if args.list or not args.experiments:
         for name, (description, _) in EXPERIMENTS.items():
@@ -139,7 +165,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in requested:
         description, runner = EXPERIMENTS[name]
         print(f"\n=== {name}: {description} ===")
-        runner(suite, args.quick)
+        runner(suite, args)
     return 0
 
 

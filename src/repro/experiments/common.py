@@ -5,10 +5,18 @@ each runtime scenario of Table 3, draw a number of random application
 mixes, simulate every scheduling scheme on each mix, and aggregate STP
 (geometric mean, as in Section 5.2) and ANTT reduction.  This module
 provides that recipe once so the per-figure drivers stay small.
+
+Because every (scenario, scheme, mix) cell is an independent simulation,
+:func:`run_scenarios` can fan the grid out over worker processes
+(``workers=N``).  Workers share the one trained predictor suite — the
+training dataset plus its models — by pickling it once into each worker,
+mirroring the paper's one-off offline training cost.
 """
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -91,16 +99,42 @@ class ScenarioResult:
 
 
 def _simulate(factory, jobs: list[Job], time_step_min: float,
-              seed: int) -> ScheduleEvaluation:
+              seed: int, engine: str = "event") -> ScheduleEvaluation:
     simulator = ClusterSimulator(paper_cluster(), factory(),
-                                 time_step_min=time_step_min, seed=seed)
+                                 time_step_min=time_step_min, seed=seed,
+                                 step_mode=engine)
     result = simulator.run(jobs)
     return evaluate_schedule(result, jobs)
 
 
+#: Per-process scheduler suite rebuilt once per worker (see _init_worker).
+_WORKER_SUITE: SchedulerSuite | None = None
+
+
+def _init_worker(suite_blob: bytes) -> None:
+    """Process-pool initialiser: rebuild the shared suite in this worker.
+
+    The parent pickles the suite — its training dataset plus the trained
+    mixture of experts — once; unpickling here gives every worker the
+    exact predictors of the sequential path, including any customised
+    models the caller installed on the suite.
+    """
+    global _WORKER_SUITE
+    _WORKER_SUITE = pickle.loads(suite_blob)
+
+
+def _run_cell(task: tuple) -> tuple[int, ScheduleEvaluation]:
+    """Simulate one (scenario, scheme, mix) grid cell in a worker."""
+    index, scheme, jobs, time_step_min, seed, engine = task
+    factory = _WORKER_SUITE.factory(scheme)
+    return index, _simulate(factory, jobs, time_step_min, seed, engine)
+
+
 def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
                   seed: int = 11, time_step_min: float = 0.5,
-                  suite: SchedulerSuite | None = None) -> list[ScenarioResult]:
+                  suite: SchedulerSuite | None = None,
+                  engine: str = "event",
+                  workers: int = 1) -> list[ScenarioResult]:
     """Run the full scenario × mix × scheme grid and aggregate per scenario.
 
     Parameters
@@ -116,30 +150,72 @@ def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
         Seed for mix generation and the simulators.
     suite:
         Shared scheduler suite; a fresh one is trained when omitted.
+    engine:
+        Simulator step mode, ``"event"`` (default) or ``"fixed"``; both
+        produce the same trajectories, the event engine just skips the
+        steps at which nothing can change.
+    workers:
+        Number of worker processes for the grid.  ``1`` (default) runs
+        in-process; larger values fan the independent grid cells out over
+        a :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are
+        identical regardless of the worker count.
     """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
     suite = suite or SchedulerSuite()
-    results: list[ScenarioResult] = []
+
+    cells: list[tuple] = []   # (index, scheme, jobs, time_step, seed, engine)
+    layout: list[tuple[str, str]] = []   # (scenario, scheme) per result row
+    per_row: dict[int, list[int]] = {}   # result row -> cell indices
     for scenario in scenarios:
         mixes = make_scenario_mixes(scenario, n_mixes=n_mixes, seed=seed)
         for scheme in schemes:
-            factory = suite.factory(scheme)
-            evaluations = [
-                _simulate(factory, mix, time_step_min, seed) for mix in mixes
-            ]
-            results.append(ScenarioResult(
-                scheme=scheme,
-                scenario=scenario,
-                stp_geomean=geometric_mean([e.stp for e in evaluations]),
-                stp_min=min(e.stp for e in evaluations),
-                stp_max=max(e.stp for e in evaluations),
-                antt_reduction_mean=float(np.mean(
-                    [e.antt_reduction_percent for e in evaluations])),
-                makespan_mean_min=float(np.mean(
-                    [e.makespan_min for e in evaluations])),
-                utilization_mean_percent=float(np.mean(
-                    [e.mean_utilization_percent for e in evaluations])),
-            ))
+            row = len(layout)
+            layout.append((scenario, scheme))
+            per_row[row] = []
+            for mix in mixes:
+                per_row[row].append(len(cells))
+                cells.append((len(cells), scheme, mix, time_step_min, seed,
+                              engine))
+
+    evaluations: dict[int, ScheduleEvaluation] = {}
+    if workers == 1:
+        for cell in cells:
+            index, evaluation = _run_cell_local(suite, cell)
+            evaluations[index] = evaluation
+    else:
+        blob = pickle.dumps(suite)
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_init_worker,
+                                 initargs=(blob,)) as pool:
+            for index, evaluation in pool.map(_run_cell, cells):
+                evaluations[index] = evaluation
+
+    results: list[ScenarioResult] = []
+    for row, (scenario, scheme) in enumerate(layout):
+        row_evals = [evaluations[i] for i in per_row[row]]
+        results.append(ScenarioResult(
+            scheme=scheme,
+            scenario=scenario,
+            stp_geomean=geometric_mean([e.stp for e in row_evals]),
+            stp_min=min(e.stp for e in row_evals),
+            stp_max=max(e.stp for e in row_evals),
+            antt_reduction_mean=float(np.mean(
+                [e.antt_reduction_percent for e in row_evals])),
+            makespan_mean_min=float(np.mean(
+                [e.makespan_min for e in row_evals])),
+            utilization_mean_percent=float(np.mean(
+                [e.mean_utilization_percent for e in row_evals])),
+        ))
     return results
+
+
+def _run_cell_local(suite: SchedulerSuite,
+                    task: tuple) -> tuple[int, ScheduleEvaluation]:
+    """Simulate one grid cell in-process (the ``workers=1`` path)."""
+    index, scheme, jobs, time_step_min, seed, engine = task
+    return index, _simulate(suite.factory(scheme), jobs, time_step_min, seed,
+                            engine)
 
 
 def overall_geomean(results: list[ScenarioResult], scheme: str,

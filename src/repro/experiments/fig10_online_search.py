@@ -22,10 +22,12 @@ SCHEMES: tuple[str, ...] = ("online_search", "ours")
 
 
 def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
-        suite: SchedulerSuite | None = None) -> list[ScenarioResult]:
+        suite: SchedulerSuite | None = None,
+        engine: str = "event", workers: int = 1) -> list[ScenarioResult]:
     """Reproduce Figure 10 over the requested scenarios."""
     return run_scenarios(SCHEMES, scenarios=scenarios, n_mixes=n_mixes,
-                         seed=seed, suite=suite)
+                         seed=seed, suite=suite, engine=engine,
+                         workers=workers)
 
 
 def stp_advantage(results: list[ScenarioResult]) -> float:

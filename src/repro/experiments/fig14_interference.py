@@ -47,16 +47,18 @@ class InterferenceDistribution:
 
 
 def _single_node_runtime(suite: SchedulerSuite, jobs: list[Job], target: str,
-                         seed: int) -> float:
+                         seed: int, engine: str = "event") -> float:
     cluster = Cluster.homogeneous(1)
     simulator = ClusterSimulator(cluster, suite.factory("ours")(),
-                                 time_step_min=0.25, seed=seed)
+                                 time_step_min=0.25, seed=seed,
+                                 step_mode=engine)
     result = simulator.run(jobs)
     return result.apps[target].execution_min()
 
 
 def run(targets=None, co_runners_per_target: int = 8, input_gb: float = 30.0,
-        seed: int = 7, suite: SchedulerSuite | None = None) -> list[InterferenceDistribution]:
+        seed: int = 7, suite: SchedulerSuite | None = None,
+        engine: str = "event") -> list[InterferenceDistribution]:
     """Measure co-location slowdowns for each target benchmark.
 
     ``co_runners_per_target`` bounds how many distinct co-runners each
@@ -73,12 +75,12 @@ def run(targets=None, co_runners_per_target: int = 8, input_gb: float = 30.0,
         chosen = rng.choice(others, size=min(co_runners_per_target, len(others)),
                             replace=False)
         isolated = _single_node_runtime(
-            suite, [Job(target, input_gb)], target, seed)
+            suite, [Job(target, input_gb)], target, seed, engine)
         slowdowns = []
         for co_runner in chosen:
             colocated = _single_node_runtime(
                 suite, [Job(target, input_gb), Job(str(co_runner), input_gb)],
-                target, seed)
+                target, seed, engine)
             slowdowns.append(max(slowdown_percent(isolated, colocated), 0.0))
         distributions.append(InterferenceDistribution(
             target=target,

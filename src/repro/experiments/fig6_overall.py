@@ -23,11 +23,13 @@ SCHEMES: tuple[str, ...] = ("pairwise", "quasar", "ours", "oracle")
 
 def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
         suite: SchedulerSuite | None = None,
-        include_isolated: bool = False) -> list[ScenarioResult]:
+        include_isolated: bool = False,
+        engine: str = "event", workers: int = 1) -> list[ScenarioResult]:
     """Reproduce Figure 6 over the requested scenarios."""
     schemes = SCHEMES + (("isolated",) if include_isolated else ())
     return run_scenarios(schemes, scenarios=scenarios, n_mixes=n_mixes,
-                         seed=seed, suite=suite)
+                         seed=seed, suite=suite, engine=engine,
+                         workers=workers)
 
 
 def format_table(results: list[ScenarioResult]) -> str:

@@ -40,14 +40,16 @@ class UtilizationResult:
 
 def run(suite: SchedulerSuite | None = None, schemes=SCHEMES,
         n_bins: int = 48, seed: int = 11,
-        time_step_min: float = 0.5) -> list[UtilizationResult]:
+        time_step_min: float = 0.5,
+        engine: str = "event") -> list[UtilizationResult]:
     """Schedule the Table 4 mix under each scheme and collect utilisation."""
     suite = suite or SchedulerSuite()
     jobs = make_table4_jobs()
     results = []
     for scheme in schemes:
         simulator = ClusterSimulator(paper_cluster(), suite.factory(scheme)(),
-                                     time_step_min=time_step_min, seed=seed)
+                                     time_step_min=time_step_min, seed=seed,
+                                     step_mode=engine)
         sim_result = simulator.run(jobs)
         evaluation = evaluate_schedule(sim_result, jobs)
         times, matrix = utilization_matrix(sim_result, n_bins=n_bins)

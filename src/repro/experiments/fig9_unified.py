@@ -28,10 +28,12 @@ SCHEMES: tuple[str, ...] = (
 
 
 def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
-        suite: SchedulerSuite | None = None) -> list[ScenarioResult]:
+        suite: SchedulerSuite | None = None,
+        engine: str = "event", workers: int = 1) -> list[ScenarioResult]:
     """Reproduce Figure 9 over the requested scenarios."""
     return run_scenarios(SCHEMES, scenarios=scenarios, n_mixes=n_mixes,
-                         seed=seed, suite=suite)
+                         seed=seed, suite=suite, engine=engine,
+                         workers=workers)
 
 
 def format_table(results: list[ScenarioResult]) -> str:

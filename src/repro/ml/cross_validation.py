@@ -9,7 +9,7 @@ equivalent-benchmark exclusion policy lives in :mod:`repro.core.training`.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterator
 
 import numpy as np
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -55,6 +56,17 @@ class Scheduler(ABC):
     @abstractmethod
     def schedule(self, ctx: SchedulingContext) -> None:
         """Place executors for waiting applications (called every step)."""
+
+    def next_wake_min(self, now: float) -> float:
+        """Earliest future time this scheduler wants to be re-invoked.
+
+        The event-driven engine re-invokes schedulers whenever cluster
+        resources change; a scheduler whose decisions are additionally
+        gated on simulated time (e.g. the online-search trial interval)
+        overrides this to name its next deadline.  ``math.inf`` means
+        "only resource events matter".
+        """
+        return math.inf
 
     @staticmethod
     def charge_profiling(app: SparkApplication, cost: ProfilingCost) -> float:

@@ -71,6 +71,10 @@ class MemoryAwareCoLocationScheduler(Scheduler):
         self.min_data_gb = min_data_gb
         self.min_free_gb = min_free_gb
         self.resize_to_fit = resize_to_fit
+        # Predicted footprints are deterministic per (app, data share) once
+        # the estimator is calibrated; memoising them keeps repeated scans
+        # over a full cluster from re-running the predictor per node.
+        self._predicted_gb: dict[tuple[str, float], float] = {}
 
     # ------------------------------------------------------------------
     # Scheduler interface
@@ -122,7 +126,8 @@ class MemoryAwareCoLocationScheduler(Scheduler):
                 break
             free_gb = node.free_reserved_memory_gb
             if free_gb < self.min_free_gb:
-                continue
+                # Nodes are sorted by free memory, so no later node fits.
+                break
             if node.reserved_cpu_load + cpu_load > 1.0 + 1e-9:
                 continue
             share = app.unassigned_gb / max(desired - active, 1)
@@ -146,7 +151,12 @@ class MemoryAwareCoLocationScheduler(Scheduler):
         function is inverted to find the largest chunk that fits what is
         available.
         """
-        predicted = self.estimator.footprint_gb(app_name, share_gb) * self.safety_margin
+        key = (app_name, share_gb)
+        predicted = self._predicted_gb.get(key)
+        if predicted is None:
+            predicted = (self.estimator.footprint_gb(app_name, share_gb)
+                         * self.safety_margin)
+            self._predicted_gb[key] = predicted
         if predicted <= free_gb:
             return predicted, share_gb
         if not self.resize_to_fit:

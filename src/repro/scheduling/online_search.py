@@ -17,6 +17,8 @@ application uses, which is the scalability problem the paper points out.
 
 from __future__ import annotations
 
+import math
+
 from repro.cluster.simulator import SchedulingContext
 from repro.scheduling.base import ProfilingCost, Scheduler
 from repro.scheduling.estimators import OracleEstimator
@@ -53,6 +55,9 @@ class OnlineSearchScheduler(Scheduler):
         self.allocation_policy = allocation_policy or DynamicAllocationPolicy()
         self._measure = OracleEstimator()
         self._last_spawn: dict[str, float] = {}
+        # Deadlines of interval-gated waiting apps, refreshed per schedule()
+        # call; the event-driven engine wakes the scheduler at the earliest.
+        self._gate_deadlines: list[float] = []
 
     def on_submit(self, ctx: SchedulingContext, app: SparkApplication) -> float:
         # No offline model: the only up-front cost is the first search trial.
@@ -62,12 +67,24 @@ class OnlineSearchScheduler(Scheduler):
         )
 
     def schedule(self, ctx: SchedulingContext) -> None:
+        self._gate_deadlines = []
         for app in ctx.waiting_apps():
             self._schedule_app(ctx, app)
+
+    def next_wake_min(self, now: float) -> float:
+        """Next search-trial deadline (event-driven engine hook).
+
+        An application that spawned recently may only grow again once its
+        search interval elapses, so the engine must wake the scheduler at
+        that deadline even if no resource event occurs before it.
+        """
+        deadlines = [t for t in self._gate_deadlines if t > now + 1e-9]
+        return min(deadlines, default=math.inf)
 
     def _schedule_app(self, ctx: SchedulingContext, app: SparkApplication) -> None:
         last = self._last_spawn.get(app.name)
         if last is not None and ctx.now - last < self.search_interval_min:
+            self._gate_deadlines.append(last + self.search_interval_min)
             return
         desired = self.allocation_policy.desired_executors(
             max(app.remaining_gb, 1e-3)
@@ -81,7 +98,8 @@ class OnlineSearchScheduler(Scheduler):
                 return
             free_gb = node.free_reserved_memory_gb
             if free_gb < 1.0:
-                continue
+                # Nodes are sorted by free memory, so no later node fits.
+                break
             if node.reserved_cpu_load + cpu_load > 1.0 + 1e-9:
                 continue
             share = app.unassigned_gb / max(desired - active, 1)
@@ -98,4 +116,7 @@ class OnlineSearchScheduler(Scheduler):
             if executor is not None:
                 # One search trial per interval: stop after a single spawn.
                 self._last_spawn[app.name] = ctx.now
+                if app.unassigned_gb > 1e-6:
+                    self._gate_deadlines.append(
+                        ctx.now + self.search_interval_min)
                 return

@@ -56,13 +56,23 @@ class SparkApplication:
     calibration_min: float = 0.0
     executors: list[Executor] = field(default_factory=list)
     unassigned_gb: float = field(init=False)
-    rdd: RDD = field(init=False, repr=False)
+    _rdd: RDD | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.input_gb <= 0:
             raise ValueError("input_gb must be positive")
         self.unassigned_gb = float(self.input_gb)
-        self.rdd = RDD.from_input_size(self.name, self.input_gb)
+
+    @property
+    def rdd(self) -> RDD:
+        """The application's input dataset, materialised on first access.
+
+        Building the partition list is O(input_gb / 128 MB); the scheduling
+        fast path never touches it, so it is created lazily.
+        """
+        if self._rdd is None:
+            self._rdd = RDD.from_input_size(self.name, self.input_gb)
+        return self._rdd
 
     # ------------------------------------------------------------------
     # Progress accounting

@@ -58,6 +58,10 @@ class Executor:
     executor_id: int = field(default_factory=lambda: next(_EXECUTOR_IDS))
     processed_gb: float = 0.0
     state: ExecutorState = ExecutorState.RUNNING
+    # Back-reference to the hosting Node, set by Node.add_executor; state
+    # transitions notify it so the node's cached reservation aggregates
+    # stay coherent without rescanning executors on every query.
+    _node: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.memory_budget_gb <= 0:
@@ -89,6 +93,11 @@ class Executor:
         """
         return self.assigned_gb
 
+    def _notify_node(self) -> None:
+        """Tell the hosting node (if any) that activity state changed."""
+        if self._node is not None:
+            self._node.invalidate_reservations()
+
     def advance(self, processed_gb: float) -> None:
         """Account for ``processed_gb`` of work completed by the executor."""
         if processed_gb < 0:
@@ -98,6 +107,7 @@ class Executor:
         self.processed_gb = min(self.processed_gb + processed_gb, self.assigned_gb)
         if self.remaining_gb <= 1e-9:
             self.state = ExecutorState.FINISHED
+            self._notify_node()
 
     def assign_more(self, extra_gb: float) -> None:
         """Give the executor additional data to process.
@@ -113,6 +123,7 @@ class Executor:
         self.assigned_gb += extra_gb
         if self.state is ExecutorState.FINISHED and self.remaining_gb > 1e-9:
             self.state = ExecutorState.RUNNING
+        self._notify_node()
 
     def fail_out_of_memory(self) -> float:
         """Mark the executor as killed by an out-of-memory error.
@@ -123,4 +134,5 @@ class Executor:
         """
         unprocessed = self.remaining_gb
         self.state = ExecutorState.FAILED_OOM
+        self._notify_node()
         return unprocessed

@@ -9,7 +9,6 @@ sampling plus the named sizes used by individual experiments (e.g. the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np

@@ -28,3 +28,16 @@ class TestCli:
         assert cli.main(["fig13", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "CPU load distribution" in out
+
+    def test_engine_and_workers_flags_are_accepted(self, capsys):
+        assert cli.main(["fig13", "--quick", "--engine", "fixed",
+                         "--workers", "2"]) == 0
+        assert "CPU load distribution" in capsys.readouterr().out
+
+    def test_invalid_engine_is_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig13", "--engine", "warp"])
+
+    def test_invalid_worker_count_is_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig13", "--workers", "0"])
