@@ -65,6 +65,8 @@ def main(argv=None) -> int:
     print("training predictor suite once "
           "(shared across both configurations)...")
     suite = SchedulerSuite()
+    # Training is lazy; materialise it now so neither timed grid pays for it.
+    suite.ensure_trained(SCHEMES)
 
     print(f"baseline: engine=fixed workers=1 "
           f"({len(scenarios)} scenarios x {len(SCHEMES)} schemes x "

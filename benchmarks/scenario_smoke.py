@@ -1,0 +1,76 @@
+"""CI smoke benchmark of the scenario subsystem.
+
+Runs one open-arrival workload on a heterogeneous cluster end-to-end (the
+``poisson_hetero_demo`` registry scenario) under both engines, checks the
+engines agree, and merges timing plus headline metrics into an existing
+benchmark report (``--merge-into BENCH_pr.json``) so scenario-subsystem
+regressions surface in the CI artifact next to the engine benchmark.
+
+Usage::
+
+    python benchmarks/scenario_smoke.py --merge-into BENCH_pr.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.common import run_scenarios
+from repro.experiments.suite_cache import load_or_train_suite
+
+SCENARIO = "poisson_hetero_demo"
+SCHEMES = ("pairwise", "ours", "oracle")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--merge-into", default="BENCH_pr.json",
+                        help="JSON report to add the scenario section to "
+                             "(created when missing)")
+    parser.add_argument("--scenario", default=SCENARIO,
+                        help=f"scenario to smoke-test (default: {SCENARIO})")
+    args = parser.parse_args(argv)
+
+    suite = load_or_train_suite()
+    rows = {}
+    timings = {}
+    for engine in ("fixed", "event"):
+        start = time.perf_counter()
+        results = run_scenarios(SCHEMES, scenarios=(args.scenario,),
+                                n_mixes=1, seed=11, suite=suite,
+                                engine=engine)
+        timings[engine] = round(time.perf_counter() - start, 3)
+        rows[engine] = [
+            {"scheme": r.scheme, "stp": round(r.stp_geomean, 4),
+             "antt_reduction_percent": round(r.antt_reduction_mean, 2),
+             "makespan_min": round(r.makespan_mean_min, 2),
+             "utilization_percent": round(r.utilization_mean_percent, 2)}
+            for r in results
+        ]
+    engines_agree = rows["fixed"] == rows["event"]
+
+    path = Path(args.merge_into)
+    report = json.loads(path.read_text()) if path.is_file() else {}
+    report["scenario_smoke"] = {
+        "scenario": args.scenario,
+        "schemes": list(SCHEMES),
+        "wall_clock_s": timings,
+        "engines_agree": engines_agree,
+        "results": rows["event"],
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"scenario {args.scenario}: fixed {timings['fixed']}s, "
+          f"event {timings['event']}s, engines agree: {engines_agree}")
+    for row in rows["event"]:
+        print(f"  {row['scheme']:12s} STP={row['stp']:.2f} "
+              f"makespan={row['makespan_min']:.1f}min")
+    print(f"merged into {path}")
+    return 0 if engines_agree else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,8 @@ The paper evaluates on a 40-node cluster (8-core/16-thread Xeon E5-2650,
 package provides the equivalent simulated infrastructure:
 
 * :mod:`repro.cluster.node` / :mod:`repro.cluster.cluster` — the machines;
+* :mod:`repro.cluster.topologies` — named cluster topologies (the paper's
+  40-node platform plus heterogeneous fleets) used by scenario specs;
 * :mod:`repro.cluster.resource_monitor` — the per-node daemon that reports
   coarse-grained (windowed) memory and CPU usage to the coordinator;
 * :mod:`repro.cluster.yarn` — the resource-manager bookkeeping used by the
@@ -19,6 +21,12 @@ package provides the equivalent simulated infrastructure:
 
 from repro.cluster.node import Node
 from repro.cluster.cluster import Cluster, paper_cluster
+from repro.cluster.topologies import (
+    NodeSpec,
+    build_topology,
+    register_topology,
+    topology_names,
+)
 from repro.cluster.events import Event, EventKind, EventLog
 from repro.cluster.resource_monitor import ResourceMonitor
 from repro.cluster.yarn import ContainerRequest, ResourceManager
@@ -38,6 +46,10 @@ __all__ = [
     "Node",
     "Cluster",
     "paper_cluster",
+    "NodeSpec",
+    "build_topology",
+    "register_topology",
+    "topology_names",
     "Event",
     "EventKind",
     "EventLog",

@@ -3,15 +3,24 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 from repro.cluster.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topologies -> cluster)
+    from repro.cluster.topologies import NodeSpec
 
 __all__ = ["Cluster", "paper_cluster"]
 
 
 @dataclass
 class Cluster:
-    """A collection of identically configured computing nodes."""
+    """A collection of computing nodes, homogeneous or mixed.
+
+    Every aggregate and scan below works per node, so schedulers built on
+    them remain correct when node capacities differ (heterogeneous
+    topologies, :mod:`repro.cluster.topologies`).
+    """
 
     nodes: list[Node] = field(default_factory=list)
 
@@ -25,6 +34,24 @@ class Cluster:
             Node(node_id=i, ram_gb=ram_gb, swap_gb=swap_gb, cores=cores)
             for i in range(n_nodes)
         ])
+
+    @classmethod
+    def heterogeneous(cls, node_specs: Iterable["NodeSpec"]) -> "Cluster":
+        """Build a cluster from mixed node groups.
+
+        ``node_specs`` is an iterable of :class:`~repro.cluster.topologies.NodeSpec`
+        entries; each contributes ``count`` identical nodes, and node ids
+        number the expansion consecutively (group order is placement order
+        for id-ordered scans).
+        """
+        nodes: list[Node] = []
+        for spec in node_specs:
+            for _ in range(spec.count):
+                nodes.append(Node(node_id=len(nodes), ram_gb=spec.ram_gb,
+                                  swap_gb=spec.swap_gb, cores=spec.cores))
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        return cls(nodes=nodes)
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -63,5 +90,10 @@ class Cluster:
 
 def paper_cluster() -> Cluster:
     """The evaluation platform of the paper: 40 nodes, 64 GB RAM, 16 GB swap,
-    16 hardware threads each (Section 5.1)."""
+    16 hardware threads each (Section 5.1).
+
+    Also available as the ``"paper40"`` entry of the topology registry
+    (:mod:`repro.cluster.topologies`), of which it is simply the oldest
+    member.
+    """
     return Cluster.homogeneous(n_nodes=40, ram_gb=64.0, swap_gb=16.0, cores=16)

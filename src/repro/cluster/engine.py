@@ -10,9 +10,9 @@ Two interchangeable engines drive :class:`~repro.cluster.simulator.ClusterSimula
   the per-executor progress rates (footprints follow the *assigned* data,
   which only schedulers alter, and contention factors follow node
   membership), so the engine analytically computes the next state-changing
-  event — earliest executor finish, profiling-ready transition, a
-  scheduler-requested wake-up, or the rescan tick that bounds how stale a
-  waiting queue may become — and jumps simulated time directly to it,
+  event — earliest executor finish, job arrival, profiling-ready
+  transition, a scheduler-requested wake-up, or the rescan tick that bounds
+  how stale a waiting queue may become — and jumps simulated time directly to it,
   computing per-node progress with NumPy instead of per-executor Python
   loops.  Out-of-memory kills and paging transitions can only occur when
   node membership changes, so they are resolved instantaneously right
@@ -145,12 +145,13 @@ class FixedStepEngine(_EngineBase):
         now = 0.0
         while now < sim.max_time_min:
             context.now = now
+            sim.process_arrivals(context, now)
             self.rerun_oom_data_in_isolation(context)
             sim.scheduler.schedule(context)
             self._advance_executors(now)
             now += sim.time_step_min
             self.finalize_completed_apps(now)
-            if self._all_finished():
+            if not sim.pending_jobs and self._all_finished():
                 break
         return now
 
@@ -267,11 +268,13 @@ class EventDrivenEngine(_EngineBase):
         sample_idx = 0  # next uniform sample grid index (time = idx * dt)
         while now < sim.max_time_min - eps:
             context.now = now
+            sim.process_arrivals(context, now)
             self.rerun_oom_data_in_isolation(context)
             sim.scheduler.schedule(context)
             self._kill_oom_victims(now)
             state = self._cluster_state(now)
             t_next = min(self._next_finish(now, state),
+                         self._next_arrival(now),
                          self._next_profiling_ready(now),
                          self._scheduler_wake(now),
                          self._rescan_tick(now),
@@ -287,7 +290,7 @@ class EventDrivenEngine(_EngineBase):
             self._advance(state, t_next - now, t_next)
             now = t_next
             self.finalize_completed_apps(now)
-            if self._all_finished():
+            if not sim.pending_jobs and self._all_finished():
                 break
         return now
 
@@ -315,6 +318,18 @@ class EventDrivenEngine(_EngineBase):
             return math.inf
         earliest = now + float(np.min(state.remaining / state.rates))
         return self._align(earliest, now)
+
+    def _next_arrival(self, now: float) -> float:
+        """Earliest future job arrival, grid-aligned.
+
+        Arrival times are known up front, so they are analytic events: the
+        engine jumps straight to the grid step at which the fixed-step
+        engine would first observe the new job in the queue.
+        """
+        arrival = self.sim.next_arrival_min()
+        if arrival is None:
+            return math.inf
+        return self._align(arrival, now)
 
     def _next_profiling_ready(self, now: float) -> float:
         """Earliest future profiling-window expiry of an unfinished app."""

@@ -102,6 +102,9 @@ class SimulationResult:
     utilization_trace:
         Per-node CPU utilisation samples in **percent**, aligned index by
         index with :attr:`utilization_times`.
+    unsubmitted_jobs:
+        Jobs whose arrival time lay beyond the simulation horizon, so they
+        never entered the queue (open-arrival scenarios only).
     """
 
     apps: dict[str, SparkApplication]
@@ -109,6 +112,7 @@ class SimulationResult:
     makespan_min: float
     utilization_times: list[float] = field(default_factory=list)
     utilization_trace: dict[int, list[float]] = field(default_factory=dict)
+    unsubmitted_jobs: list[Job] = field(default_factory=list)
 
     def finished_apps(self) -> list[SparkApplication]:
         """Applications that completed within the simulation horizon."""
@@ -116,7 +120,9 @@ class SimulationResult:
                 if app.state is ApplicationState.FINISHED]
 
     def all_finished(self) -> bool:
-        """Whether every submitted application completed."""
+        """Whether every job completed (and none is still awaiting arrival)."""
+        if self.unsubmitted_jobs:
+            return False
         return all(app.state is ApplicationState.FINISHED
                    for app in self.apps.values())
 
@@ -271,6 +277,11 @@ class ClusterSimulator:
         self.specs: dict[str, BenchmarkSpec] = {}
         self.ready_time: dict[str, float] = {}
         self.submission_order: list[SparkApplication] = []
+        # Jobs whose submission time has not been reached yet, ordered by
+        # submission time (stable, so batch jobs keep their mix order).
+        # The engines drain this queue as simulated time advances.
+        self.pending_jobs: list[Job] = []
+        self._name_counts: dict[str, int] = {}
         # Data whose executor was killed by an out-of-memory error; it is
         # re-run in isolation on an idle node (paper Section 2.3) rather than
         # handed back to the scheduler, which would otherwise retry the same
@@ -278,44 +289,73 @@ class ClusterSimulator:
         self.oom_retry_gb: dict[str, float] = {}
 
     # ------------------------------------------------------------------
-    # Setup
+    # Job arrivals
     # ------------------------------------------------------------------
-    def _submit(self, jobs: list[Job]) -> None:
-        counts: dict[str, int] = {}
-        for job in jobs:
-            spec = benchmark_by_name(job.benchmark)
-            occurrence = counts.get(job.benchmark, 0)
-            counts[job.benchmark] = occurrence + 1
-            name = f"{job.benchmark}#{occurrence}" if occurrence else job.benchmark
-            app = SparkApplication(name=name, spec=spec, input_gb=job.input_gb,
-                                   submit_time=0.0)
-            self.apps[name] = app
-            self.specs[name] = spec
-            self.submission_order.append(app)
-            self.events.record(0.0, EventKind.APP_SUBMITTED, app=name,
-                               detail=f"input={job.input_gb:.1f}GB")
-            delay = 0.0
-            if hasattr(self.scheduler, "on_submit"):
-                context = SchedulingContext(self)
-                delay = float(self.scheduler.on_submit(context, app) or 0.0)
-            self.ready_time[name] = delay
-            if delay > 0:
-                app.state = ApplicationState.PROFILING
-                self.events.record(0.0, EventKind.PROFILING_STARTED, app=name)
-                self.events.record(delay, EventKind.PROFILING_FINISHED, app=name)
+    def process_arrivals(self, context: "SchedulingContext",
+                         now: float) -> None:
+        """Submit every pending job whose arrival time has been reached.
+
+        The engines call this at the top of each scheduling epoch, so a job
+        enters the queue at the first epoch at or after its
+        ``submit_time_min`` — under the fixed-step engine that is the first
+        grid step covering the arrival, and the event engine aligns its
+        arrival events to the same grid.
+        """
+        while self.pending_jobs and (self.pending_jobs[0].submit_time_min
+                                     <= now + 1e-9):
+            self._submit_job(self.pending_jobs.pop(0), context, now)
+
+    def _submit_job(self, job: Job, context: "SchedulingContext",
+                    now: float) -> None:
+        spec = benchmark_by_name(job.benchmark)
+        occurrence = self._name_counts.get(job.benchmark, 0)
+        self._name_counts[job.benchmark] = occurrence + 1
+        name = f"{job.benchmark}#{occurrence}" if occurrence else job.benchmark
+        # Turnaround is measured from the job's true arrival time, even
+        # though the system first observes it at the enclosing grid step.
+        app = SparkApplication(name=name, spec=spec, input_gb=job.input_gb,
+                               submit_time=job.submit_time_min)
+        self.apps[name] = app
+        self.specs[name] = spec
+        self.submission_order.append(app)
+        self.events.record(now, EventKind.APP_SUBMITTED, app=name,
+                           detail=f"input={job.input_gb:.1f}GB")
+        delay = 0.0
+        if hasattr(self.scheduler, "on_submit"):
+            delay = float(self.scheduler.on_submit(context, app) or 0.0)
+        self.ready_time[name] = now + delay
+        if delay > 0:
+            app.state = ApplicationState.PROFILING
+            self.events.record(now, EventKind.PROFILING_STARTED, app=name)
+            self.events.record(now + delay, EventKind.PROFILING_FINISHED,
+                               app=name)
+
+    def next_arrival_min(self) -> float | None:
+        """Arrival time of the earliest still-pending job, or ``None``."""
+        if not self.pending_jobs:
+            return None
+        return self.pending_jobs[0].submit_time_min
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def run(self, jobs: list[Job]) -> SimulationResult:
-        """Simulate the given job mix to completion and return the result."""
+        """Simulate the given job mix to completion and return the result.
+
+        Jobs with ``submit_time_min == 0`` (the default) are submitted
+        together before the first scheduling epoch, reproducing the seed's
+        closed-batch behaviour; later arrival times make jobs enter the
+        queue as simulated time reaches them (open-arrival scenarios).
+        """
         if not jobs:
             raise ValueError("cannot simulate an empty job mix")
         self._utilization: dict[int, list[float]] = {
             node.node_id: [] for node in self.cluster.nodes
         }
         self._utilization_times: list[float] = []
-        self._submit(jobs)
+        # Stable sort: simultaneous arrivals keep their mix order, so a
+        # batch mix is submitted exactly as the seed submitted it.
+        self.pending_jobs = sorted(jobs, key=lambda job: job.submit_time_min)
         context = SchedulingContext(self)
 
         engine_kwargs = {}
@@ -335,4 +375,5 @@ class ClusterSimulator:
             makespan_min=float(makespan),
             utilization_times=self._utilization_times,
             utilization_trace=self._utilization if self.record_utilization else {},
+            unsubmitted_jobs=list(self.pending_jobs),
         )

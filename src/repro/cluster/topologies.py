@@ -1,0 +1,129 @@
+"""Named cluster topologies, homogeneous and heterogeneous.
+
+The seed repository hard-wired one platform — the paper's 40 identical
+64 GB nodes (:func:`~repro.cluster.cluster.paper_cluster`).  The scenario
+subsystem instead names its topology, and this registry resolves the name
+to a freshly built :class:`~repro.cluster.cluster.Cluster`:
+
+``paper40``
+    The paper's evaluation platform (Section 5.1); the registry form of
+    ``paper_cluster()``.
+``hetero_mixed20``
+    A 20-node mixed fleet: a few big-memory machines, a mid tier, and a
+    tail of small 16 GB boxes.  Schedulers that assume every node looks
+    the same over-commit the small tail.
+``smallmem24``
+    24 uniform small-memory nodes — the regime where footprint
+    mispredictions are most punishing.
+``bigmem8``
+    8 large machines with high core counts — few placement slots, deep
+    co-location.
+
+Topologies are *recipes* (tuples of :class:`NodeSpec` groups), not shared
+cluster objects: every :func:`build_topology` call returns a fresh cluster,
+so concurrent simulations never share mutable node state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "NodeSpec",
+    "TOPOLOGIES",
+    "register_topology",
+    "topology_names",
+    "topology_specs",
+    "build_topology",
+]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One group of identically configured nodes within a topology.
+
+    Parameters
+    ----------
+    count:
+        Number of nodes in this group.
+    ram_gb, swap_gb, cores:
+        Per-node capacities (defaults mirror the paper's machines).
+    """
+
+    count: int = 1
+    ram_gb: float = 64.0
+    swap_gb: float = 16.0
+    cores: int = 16
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be at least 1")
+        if self.ram_gb <= 0:
+            raise ValueError("ram_gb must be positive")
+        if self.swap_gb < 0:
+            raise ValueError("swap_gb cannot be negative")
+        if self.cores < 1:
+            raise ValueError("cores must be at least 1")
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict form."""
+        return {"count": self.count, "ram_gb": self.ram_gb,
+                "swap_gb": self.swap_gb, "cores": self.cores}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NodeSpec":
+        """Build a node group from its dict form (unknown keys rejected)."""
+        unknown = set(payload) - {"count", "ram_gb", "swap_gb", "cores"}
+        if unknown:
+            raise ValueError(f"unknown node parameters: {sorted(unknown)}")
+        return cls(**payload)
+
+
+#: Registry of named topologies: name -> tuple of node groups.
+TOPOLOGIES: dict[str, tuple[NodeSpec, ...]] = {
+    "paper40": (NodeSpec(count=40),),
+    "hetero_mixed20": (
+        NodeSpec(count=4, ram_gb=128.0, swap_gb=32.0, cores=32),
+        NodeSpec(count=10, ram_gb=64.0, swap_gb=16.0, cores=16),
+        NodeSpec(count=6, ram_gb=16.0, swap_gb=8.0, cores=8),
+    ),
+    "smallmem24": (NodeSpec(count=24, ram_gb=16.0, swap_gb=8.0, cores=8),),
+    "bigmem8": (NodeSpec(count=8, ram_gb=256.0, swap_gb=64.0, cores=48),),
+}
+
+
+def register_topology(name: str, specs: tuple[NodeSpec, ...] | list[NodeSpec],
+                      replace: bool = False) -> None:
+    """Add a named topology to the registry.
+
+    Registration rejects duplicate names unless ``replace=True``, so a
+    typo'd re-registration cannot silently shadow a built-in platform.
+    """
+    if not name:
+        raise ValueError("topology name cannot be empty")
+    if not specs:
+        raise ValueError("a topology needs at least one node group")
+    if name in TOPOLOGIES and not replace:
+        raise ValueError(f"topology {name!r} is already registered")
+    TOPOLOGIES[name] = tuple(specs)
+
+
+def topology_names() -> list[str]:
+    """Registered topology names, in registration order."""
+    return list(TOPOLOGIES)
+
+
+def topology_specs(name: str) -> tuple[NodeSpec, ...]:
+    """The node groups of a named topology."""
+    try:
+        return TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(f"unknown topology {name!r}; "
+                       f"registered: {', '.join(TOPOLOGIES)}") from None
+
+
+def build_topology(name: str) -> Cluster:
+    """Build a fresh cluster for a named topology."""
+    return Cluster.heterogeneous(topology_specs(name))

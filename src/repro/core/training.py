@@ -28,12 +28,18 @@ from repro.workloads.benchmark import BenchmarkSpec
 from repro.workloads.suites import TRAINING_BENCHMARKS, equivalent_benchmarks
 
 __all__ = [
+    "DEFAULT_TRAINING_SEED",
     "TrainingExample",
     "TrainingDataset",
     "collect_training_data",
     "leave_one_out_training_set",
     "default_training_input_sizes_gb",
 ]
+
+#: Seed of the offline profiling runs' observation noise.  Shared with the
+#: suite disk cache's fingerprint (:mod:`repro.experiments.suite_cache`),
+#: so changing it invalidates cached trained models automatically.
+DEFAULT_TRAINING_SEED = 0
 
 
 def default_training_input_sizes_gb() -> np.ndarray:
@@ -103,7 +109,7 @@ def collect_training_data(
     specs: tuple[BenchmarkSpec, ...] | list[BenchmarkSpec] = TRAINING_BENCHMARKS,
     profiler: Profiler | None = None,
     input_sizes_gb: np.ndarray | None = None,
-    seed: int = 0,
+    seed: int = DEFAULT_TRAINING_SEED,
 ) -> TrainingDataset:
     """Run the offline training pipeline over the given training programs.
 

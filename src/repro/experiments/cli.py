@@ -1,15 +1,25 @@
 """Command-line entry point to regenerate the paper's tables and figures.
 
-Usage (after ``pip install -e .``)::
+Usage (after ``pip install -e .``; ``python -m repro.experiments`` is an
+alias for ``python -m repro.experiments.cli``)::
 
-    python -m repro.experiments.cli --list
-    python -m repro.experiments.cli fig6 fig17 table5
-    python -m repro.experiments.cli all --quick
-    python -m repro.experiments.cli fig6 --workers 4 --engine event
+    python -m repro.experiments --list
+    python -m repro.experiments fig6 fig17 table5
+    python -m repro.experiments all --quick
+    python -m repro.experiments fig6 --workers 4 --engine event
+
+Beyond the paper artefacts, ``--scenario`` runs any declarative scenario
+(:mod:`repro.scenarios`) — a registry name or a spec JSON path — across a
+set of scheduling schemes::
+
+    python -m repro.experiments --list-scenarios
+    python -m repro.experiments --scenario poisson_hetero_demo
+    python -m repro.experiments --scenario my_spec.json --schemes oracle,pairwise
 
 Every experiment prints the same rows/series as the corresponding paper
 artefact; ``--quick`` shrinks the simulation grids so the full set finishes
-in a few minutes on a laptop.
+in a few minutes on a laptop.  Trained predictor models are cached under
+``.cache/`` between runs (``--no-cache`` opts out).
 """
 
 from __future__ import annotations
@@ -35,9 +45,20 @@ from repro.experiments import (
     table5_classifiers,
 )
 from repro.cluster.engine import STEP_MODES
-from repro.experiments.common import SchedulerSuite
+from repro.experiments.common import (
+    HorizonTruncationError,
+    KNOWN_SCHEMES,
+    SchedulerSuite,
+    run_scenarios,
+)
+from repro.experiments.suite_cache import load_or_train_suite
+from repro.scenarios import load_scenario, scenario_names, SCENARIO_REGISTRY
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "DEFAULT_SCENARIO_SCHEMES"]
+
+#: Schemes compared by default in ``--scenario`` mode.
+DEFAULT_SCENARIO_SCHEMES: tuple[str, ...] = ("isolated", "pairwise", "ours",
+                                             "oracle")
 
 
 def _run_fig6(suite, options):
@@ -128,14 +149,90 @@ EXPERIMENTS = {
 }
 
 
+def format_scenario_table(spec, results) -> str:
+    """Render the per-scheme metrics of one scenario run."""
+    lines = [f"scenario {spec.name}: topology={spec.topology} "
+             f"arrival={spec.arrival.kind}"]
+    if spec.description:
+        lines.append(f"  {spec.description}")
+    lines.append(f"{'scheme':18s} {'STP':>7s} {'ANTT red.%':>11s} "
+                 f"{'makespan(min)':>14s} {'util.%':>7s}")
+    for row in results:
+        lines.append(f"{row.scheme:18s} {row.stp_geomean:7.2f} "
+                     f"{row.antt_reduction_mean:11.1f} "
+                     f"{row.makespan_mean_min:14.1f} "
+                     f"{row.utilization_mean_percent:7.1f}")
+    return "\n".join(lines)
+
+
+def _run_scenario_mode(args) -> int:
+    """Run one declarative scenario across scheduling schemes."""
+    try:
+        # TypeError covers wrong-typed values in a user's spec JSON
+        # (e.g. a string where a number belongs).
+        spec = load_scenario(args.scenario)
+    except (KeyError, ValueError, TypeError, OSError) as error:
+        print(f"cannot load scenario {args.scenario!r}: {error}",
+              file=sys.stderr)
+        return 2
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    if not schemes:
+        print("--schemes must name at least one scheme", file=sys.stderr)
+        return 2
+    unknown = [s for s in schemes if s not in KNOWN_SCHEMES]
+    if unknown:
+        print(f"unknown schemes: {', '.join(unknown)} "
+              f"(known: {', '.join(KNOWN_SCHEMES)})", file=sys.stderr)
+        return 2
+    suite = _make_suite(args, schemes)
+    try:
+        results = run_scenarios(schemes, scenarios=(spec,),
+                                n_mixes=args.n_mixes, seed=args.seed,
+                                suite=suite, engine=args.engine,
+                                workers=args.workers)
+    except HorizonTruncationError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(format_scenario_table(spec, results))
+    return 0
+
+
+def _make_suite(args, schemes=None) -> SchedulerSuite:
+    """Build the shared suite, using the disk cache when training is needed.
+
+    When every requested scheme is prediction-free the suite stays lazy and
+    untrained; otherwise the trained artefacts come from ``.cache/`` (or a
+    fresh training run with ``--no-cache``).
+    """
+    if schemes is None or SchedulerSuite.needs_training(schemes):
+        return load_or_train_suite(use_cache=not args.no_cache)
+    return SchedulerSuite()
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for ``python -m repro.experiments.cli``."""
+    """Entry point for ``python -m repro.experiments`` (and ``.cli``)."""
     parser = argparse.ArgumentParser(
-        description="Regenerate the paper's tables and figures.")
+        description="Regenerate the paper's tables and figures, or run a "
+                    "declarative scenario.")
     parser.add_argument("experiments", nargs="*",
                         help="experiment names (see --list), or 'all'")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="list registered scenarios and exit")
+    parser.add_argument("--scenario", metavar="NAME|SPEC.json",
+                        help="run one declarative scenario (registry name "
+                             "or spec JSON path) across --schemes")
+    parser.add_argument("--schemes", default=",".join(DEFAULT_SCENARIO_SCHEMES),
+                        metavar="CSV",
+                        help="comma-separated schemes for --scenario "
+                             f"(default: {','.join(DEFAULT_SCENARIO_SCHEMES)})")
+    parser.add_argument("--n-mixes", type=int, default=1, metavar="K",
+                        help="random mixes per scenario in --scenario mode "
+                             "(default: 1)")
+    parser.add_argument("--seed", type=int, default=11, metavar="N",
+                        help="seed of the generator driving mix generation "
+                             "and arrival processes (default: 11)")
     parser.add_argument("--quick", action="store_true",
                         help="use reduced simulation grids")
     parser.add_argument("--engine", choices=list(STEP_MODES), default="event",
@@ -144,11 +241,28 @@ def main(argv: list[str] | None = None) -> int:
                              "steps (default: event)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for the scenario-grid "
-                             "experiments fig6/fig9/fig10; other "
-                             "experiments run in-process (default: 1)")
+                             "experiments fig6/fig9/fig10 and --scenario "
+                             "mode; other experiments run in-process "
+                             "(default: 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the trained-model disk cache (.cache/): "
+                             "always retrain, never write")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    if args.n_mixes < 1:
+        parser.error("--n-mixes must be at least 1")
+
+    if args.list_scenarios:
+        for name in scenario_names():
+            print(f"  {name:24s} {SCENARIO_REGISTRY[name].description}")
+        return 0
+
+    if args.scenario:
+        if args.experiments:
+            parser.error("--scenario cannot be combined with experiment "
+                         "names; run them as separate invocations")
+        return _run_scenario_mode(args)
 
     if args.list or not args.experiments:
         for name, (description, _) in EXPERIMENTS.items():
@@ -161,7 +275,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
-    suite = SchedulerSuite()
+    suite = _make_suite(args)
     for name in requested:
         description, runner = EXPERIMENTS[name]
         print(f"\n=== {name}: {description} ===")

@@ -1,10 +1,17 @@
 """Shared infrastructure for the scheduling experiments.
 
 The comparative experiments (Figures 6–10) all follow the same recipe: for
-each runtime scenario of Table 3, draw a number of random application
-mixes, simulate every scheduling scheme on each mix, and aggregate STP
-(geometric mean, as in Section 5.2) and ANTT reduction.  This module
-provides that recipe once so the per-figure drivers stay small.
+each scenario, draw a number of application mixes, simulate every
+scheduling scheme on each mix, and aggregate STP (geometric mean, as in
+Section 5.2) and ANTT reduction.  This module provides that recipe once so
+the per-figure drivers stay small.
+
+Scenarios are declarative (:mod:`repro.scenarios`): an entry of
+``scenarios`` may be a registry name (``"L1"``..``"L10"``, the seed
+Table-3 batches, or an open-arrival/heterogeneous scenario), a path to a
+spec JSON document, or a :class:`~repro.scenarios.spec.ScenarioSpec`
+object.  One seeded generator per scenario drives both mix generation and
+the arrival process, so a (scenario, seed) pair pins the whole workload.
 
 Because every (scenario, scheme, mix) cell is an independent simulation,
 :func:`run_scenarios` can fan the grid out over worker processes
@@ -17,16 +24,17 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.cluster import paper_cluster
 from repro.cluster.simulator import ClusterSimulator
 from repro.core.moe import MixtureOfExperts
 from repro.core.training import TrainingDataset, collect_training_data
 from repro.metrics.throughput import ScheduleEvaluation, evaluate_schedule
 from repro.ml.metrics import geometric_mean
+from repro.scenarios.registry import load_scenario
+from repro.scenarios.spec import ScenarioSpec
 from repro.scheduling import (
     IsolatedScheduler,
     OnlineSearchScheduler,
@@ -36,51 +44,124 @@ from repro.scheduling import (
     make_quasar_scheduler,
     make_unified_scheduler,
 )
-from repro.workloads.mixes import Job, make_scenario_mixes
+from repro.spark.driver import DynamicAllocationPolicy
+from repro.workloads.mixes import Job
 
-__all__ = ["SchedulerSuite", "ScenarioResult", "run_scenarios", "DEFAULT_SCENARIOS"]
+__all__ = ["SchedulerSuite", "ScenarioResult", "run_scenarios",
+           "DEFAULT_SCENARIOS", "KNOWN_SCHEMES", "HorizonTruncationError"]
 
 #: Scenario labels used by default (all of Table 3).
 DEFAULT_SCENARIOS: tuple[str, ...] = ("L1", "L2", "L3", "L4", "L5",
                                       "L6", "L7", "L8", "L9", "L10")
 
+#: Every scheme name understood by :meth:`SchedulerSuite.factory`.
+KNOWN_SCHEMES: tuple[str, ...] = (
+    "isolated", "pairwise", "online_search", "quasar", "ours", "oracle",
+    "unified_ann", "unified_power_law", "unified_exponential",
+    "unified_napierian_log",
+)
 
-@dataclass
+#: Schemes whose schedulers require offline-trained artefacts, and which
+#: artefact each needs ("dataset" or "moe").
+_TRAINED_ARTEFACTS: dict[str, str] = {
+    "quasar": "dataset",
+    "ours": "moe",
+    "unified_ann": "dataset",
+}
+
+
+class HorizonTruncationError(RuntimeError):
+    """A scenario's horizon cut the workload short, so the headline metrics
+    (STP/ANTT over *completed* turnarounds) are undefined for the run."""
+
+
 class SchedulerSuite:
-    """Lazily constructed scheduler factories sharing one trained predictor.
+    """Lazily trained scheduler factories sharing one predictor suite.
 
     Training the mixture of experts and the comparison models once and
     sharing them across every simulated mix mirrors the paper's one-off
     offline training cost (Section 3.3) and keeps the experiment grid fast.
+    Training is *lazy*: a suite used only for prediction-free schemes
+    (isolated, pairwise, oracle, online search) never trains at all, and
+    :func:`repro.experiments.suite_cache.load_or_train_suite` can satisfy
+    the trained artefacts from a disk cache instead.
     """
 
-    dataset: TrainingDataset = field(default_factory=collect_training_data)
-    moe: MixtureOfExperts | None = None
+    def __init__(self, dataset: TrainingDataset | None = None,
+                 moe: MixtureOfExperts | None = None) -> None:
+        self._dataset = dataset
+        self._moe = moe
 
-    def __post_init__(self) -> None:
-        if self.moe is None:
-            self.moe = MixtureOfExperts.from_dataset(self.dataset)
+    @property
+    def dataset(self) -> TrainingDataset:
+        """The offline training dataset, collected on first use."""
+        if self._dataset is None:
+            self._dataset = collect_training_data()
+        return self._dataset
 
-    def factory(self, scheme: str):
-        """Return a zero-argument factory building a fresh scheduler."""
+    @property
+    def moe(self) -> MixtureOfExperts:
+        """The trained mixture of experts, fitted on first use."""
+        if self._moe is None:
+            self._moe = MixtureOfExperts.from_dataset(self.dataset)
+        return self._moe
+
+    def is_trained(self) -> bool:
+        """Whether both trained artefacts are materialised."""
+        return self._dataset is not None and self._moe is not None
+
+    @staticmethod
+    def needs_training(schemes) -> bool:
+        """Whether any of the given schemes requires trained artefacts."""
+        return any(scheme in _TRAINED_ARTEFACTS for scheme in schemes)
+
+    def ensure_trained(self, schemes=None) -> None:
+        """Materialise the trained artefacts the given schemes need.
+
+        With ``schemes=None`` everything is trained.  Called before the
+        suite is pickled into worker processes, so workers receive trained
+        models rather than each re-training their own.
+        """
+        if schemes is None:
+            self.moe
+            return
+        for scheme in schemes:
+            artefact = _TRAINED_ARTEFACTS.get(scheme)
+            if artefact == "dataset":
+                self.dataset
+            elif artefact == "moe":
+                self.moe
+
+    def factory(self, scheme: str,
+                allocation_policy: DynamicAllocationPolicy | None = None):
+        """Return a zero-argument factory building a fresh scheduler.
+
+        ``allocation_policy`` overrides the schedulers' Spark-like dynamic
+        allocation; the scenario runner derives it from the actual topology
+        so executor targets track the cluster size instead of assuming the
+        paper's 40 nodes.
+        """
+        kwargs = ({} if allocation_policy is None
+                  else {"allocation_policy": allocation_policy})
         if scheme == "isolated":
-            return IsolatedScheduler
+            return lambda: IsolatedScheduler(**kwargs)
         if scheme == "pairwise":
-            return PairwiseScheduler
+            return lambda: PairwiseScheduler(**kwargs)
         if scheme == "online_search":
-            return OnlineSearchScheduler
+            return lambda: OnlineSearchScheduler(**kwargs)
         if scheme == "quasar":
-            return lambda: make_quasar_scheduler(dataset=self.dataset)
+            return lambda: make_quasar_scheduler(dataset=self.dataset, **kwargs)
         if scheme == "ours":
-            return lambda: make_moe_scheduler(moe=self.moe)
+            return lambda: make_moe_scheduler(moe=self.moe, **kwargs)
         if scheme == "oracle":
-            return make_oracle_scheduler
+            return lambda: make_oracle_scheduler(**kwargs)
         if scheme == "unified_ann":
-            return lambda: make_unified_scheduler("ann", dataset=self.dataset)
+            return lambda: make_unified_scheduler("ann", dataset=self.dataset,
+                                                  **kwargs)
         if scheme in ("unified_power_law", "unified_exponential",
                       "unified_napierian_log"):
             family = scheme.replace("unified_", "")
-            return lambda: make_unified_scheduler(family)
+            return lambda: make_unified_scheduler(family, **kwargs)
         raise KeyError(f"unknown scheduling scheme {scheme!r}")
 
 
@@ -98,13 +179,33 @@ class ScenarioResult:
     utilization_mean_percent: float
 
 
-def _simulate(factory, jobs: list[Job], time_step_min: float,
-              seed: int, engine: str = "event") -> ScheduleEvaluation:
-    simulator = ClusterSimulator(paper_cluster(), factory(),
+def _simulate(suite: "SchedulerSuite", scheme: str, jobs: list[Job],
+              time_step_min: float, seed: int, engine: str,
+              spec: ScenarioSpec) -> ScheduleEvaluation:
+    """Simulate one mix of one scenario under one scheme.
+
+    The cluster is built fresh from the scenario's topology, and the
+    dynamic-allocation executor cap follows the cluster size (for the
+    paper's 40-node platform this matches the seed's fixed default
+    exactly).
+    """
+    cluster = spec.build_cluster()
+    policy = DynamicAllocationPolicy(max_executors=len(cluster))
+    factory = suite.factory(scheme, allocation_policy=policy)
+    simulator = ClusterSimulator(cluster, factory(),
                                  time_step_min=time_step_min, seed=seed,
-                                 step_mode=engine)
+                                 step_mode=engine,
+                                 max_time_min=spec.max_time_min)
     result = simulator.run(jobs)
-    return evaluate_schedule(result, jobs)
+    if not result.all_finished():
+        unfinished = sum(1 for app in result.apps.values()
+                         if app.finish_time is None)
+        raise HorizonTruncationError(
+            f"scenario {spec.name!r} ({scheme}): horizon "
+            f"max_time_min={spec.max_time_min:g} truncated the workload — "
+            f"{len(result.unsubmitted_jobs)} job(s) never arrived, "
+            f"{unfinished} app(s) unfinished; raise the spec's max_time_min")
+    return evaluate_schedule(result, jobs, policy)
 
 
 #: Per-process scheduler suite rebuilt once per worker (see _init_worker).
@@ -125,9 +226,9 @@ def _init_worker(suite_blob: bytes) -> None:
 
 def _run_cell(task: tuple) -> tuple[int, ScheduleEvaluation]:
     """Simulate one (scenario, scheme, mix) grid cell in a worker."""
-    index, scheme, jobs, time_step_min, seed, engine = task
-    factory = _WORKER_SUITE.factory(scheme)
-    return index, _simulate(factory, jobs, time_step_min, seed, engine)
+    index, scheme, jobs, time_step_min, seed, engine, spec = task
+    return index, _simulate(_WORKER_SUITE, scheme, jobs, time_step_min, seed,
+                            engine, spec)
 
 
 def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
@@ -142,14 +243,18 @@ def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
     schemes:
         Scheme names understood by :meth:`SchedulerSuite.factory`.
     scenarios:
-        Table 3 scenario labels to evaluate.
+        Scenario identifiers: registry names (``"L1"``..``"L10"``, demo
+        scenarios), paths to spec JSON documents, or
+        :class:`~repro.scenarios.spec.ScenarioSpec` objects.
     n_mixes:
         Random mixes per scenario (the paper uses ~100; the default keeps
         the grid laptop-sized and can be raised for higher fidelity).
     seed:
-        Seed for mix generation and the simulators.
+        Seed of the per-scenario generator driving mix generation and
+        arrival processes, and of the simulators.
     suite:
-        Shared scheduler suite; a fresh one is trained when omitted.
+        Shared scheduler suite; a fresh one is created when omitted and
+        trained lazily, only if a scheme requires trained artefacts.
     engine:
         Simulator step mode, ``"event"`` (default) or ``"fixed"``; both
         produce the same trajectories, the event engine just skips the
@@ -163,20 +268,21 @@ def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
     if workers < 1:
         raise ValueError("workers must be at least 1")
     suite = suite or SchedulerSuite()
+    specs = [load_scenario(entry) for entry in scenarios]
 
-    cells: list[tuple] = []   # (index, scheme, jobs, time_step, seed, engine)
+    cells: list[tuple] = []   # (index, scheme, jobs, step, seed, engine, spec)
     layout: list[tuple[str, str]] = []   # (scenario, scheme) per result row
     per_row: dict[int, list[int]] = {}   # result row -> cell indices
-    for scenario in scenarios:
-        mixes = make_scenario_mixes(scenario, n_mixes=n_mixes, seed=seed)
+    for spec in specs:
+        mixes = spec.make_mixes(n_mixes=n_mixes, seed=seed)
         for scheme in schemes:
             row = len(layout)
-            layout.append((scenario, scheme))
+            layout.append((spec.name, scheme))
             per_row[row] = []
             for mix in mixes:
                 per_row[row].append(len(cells))
                 cells.append((len(cells), scheme, mix, time_step_min, seed,
-                              engine))
+                              engine, spec))
 
     evaluations: dict[int, ScheduleEvaluation] = {}
     if workers == 1:
@@ -184,6 +290,7 @@ def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
             index, evaluation = _run_cell_local(suite, cell)
             evaluations[index] = evaluation
     else:
+        suite.ensure_trained(schemes)
         blob = pickle.dumps(suite)
         with ProcessPoolExecutor(max_workers=workers,
                                  initializer=_init_worker,
@@ -213,9 +320,9 @@ def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
 def _run_cell_local(suite: SchedulerSuite,
                     task: tuple) -> tuple[int, ScheduleEvaluation]:
     """Simulate one grid cell in-process (the ``workers=1`` path)."""
-    index, scheme, jobs, time_step_min, seed, engine = task
-    return index, _simulate(suite.factory(scheme), jobs, time_step_min, seed,
-                            engine)
+    index, scheme, jobs, time_step_min, seed, engine, spec = task
+    return index, _simulate(suite, scheme, jobs, time_step_min, seed, engine,
+                            spec)
 
 
 def overall_geomean(results: list[ScenarioResult], scheme: str,

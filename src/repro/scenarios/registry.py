@@ -1,0 +1,126 @@
+"""The named scenario registry.
+
+The seed repository's entire experiment space — ten closed batches on one
+homogeneous platform — occupies the first ten entries (``L1``..``L10``,
+generated from Table 3 and reproducing the seed mixes bit-for-bit).  The
+rest of the registry opens the space the ROADMAP asks for: open Poisson
+arrivals, burst absorption, diurnal load, and mixed big/small-memory
+fleets.  :func:`load_scenario` additionally accepts a path to a spec JSON
+document, so ad-hoc scenarios never need to be registered in code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.workloads.arrivals import ArrivalSpec
+from repro.workloads.mixes import SCENARIOS, TABLE4_MIX
+from repro.workloads.inputs import INPUT_SIZE_GB
+
+__all__ = [
+    "SCENARIO_REGISTRY",
+    "scenario",
+    "scenario_names",
+    "register_scenario",
+    "load_scenario",
+]
+
+
+def _table3_specs() -> dict[str, ScenarioSpec]:
+    """The seed scenarios: Table-3 batches on the paper's platform."""
+    return {
+        label: ScenarioSpec(
+            name=label, n_apps=n_apps,
+            description=f"Table 3 {label}: closed batch of {n_apps} "
+                        f"random applications on the paper's 40-node platform",
+        )
+        for label, n_apps in SCENARIOS.items()
+    }
+
+
+#: Registry of named scenarios: name -> spec.
+SCENARIO_REGISTRY: dict[str, ScenarioSpec] = {
+    **_table3_specs(),
+    "table4": ScenarioSpec(
+        name="table4",
+        jobs=tuple((name, INPUT_SIZE_GB[size]) for name, size in TABLE4_MIX),
+        description="Table 4: the fixed 30-application utilisation-study mix",
+    ),
+    "poisson_hetero_demo": ScenarioSpec(
+        name="poisson_hetero_demo",
+        n_apps=10,
+        arrival=ArrivalSpec(kind="poisson", rate_per_min=0.05),
+        topology="hetero_mixed20",
+        description="10 random apps arriving ~every 20 min on a mixed "
+                    "128/64/16 GB fleet — the open-arrival heterogeneous "
+                    "showcase",
+    ),
+    "open_arrival_overload": ScenarioSpec(
+        name="open_arrival_overload",
+        n_apps=16,
+        arrival=ArrivalSpec(kind="poisson", rate_per_min=0.2),
+        topology="smallmem24",
+        description="16 apps arriving every ~5 min on 24 small 16 GB nodes "
+                    "— sustained pressure beyond the drain rate",
+    ),
+    "burst_absorption": ScenarioSpec(
+        name="burst_absorption",
+        n_apps=12,
+        arrival=ArrivalSpec(kind="bursty", rate_per_min=0.5,
+                            on_min=15.0, off_min=45.0),
+        description="12 apps in 15-minute bursts separated by 45 quiet "
+                    "minutes on the paper's platform",
+    ),
+    "diurnal_paper40": ScenarioSpec(
+        name="diurnal_paper40",
+        n_apps=20,
+        arrival=ArrivalSpec(kind="diurnal", rate_per_min=0.02),
+        description="20 apps over a replayed 24-hour load curve "
+                    "(business-hours peak) on the paper's platform",
+    ),
+    "bigmem_batch": ScenarioSpec(
+        name="bigmem_batch",
+        n_apps=11,
+        topology="bigmem8",
+        description="An L5-sized closed batch on 8 large 256 GB machines — "
+                    "few slots, deep co-location",
+    ),
+}
+
+
+def scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIO_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; registered: "
+                       f"{', '.join(SCENARIO_REGISTRY)}") from None
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, in registration order."""
+    return list(SCENARIO_REGISTRY)
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> None:
+    """Add a scenario to the registry (duplicate names rejected by default)."""
+    if spec.name in SCENARIO_REGISTRY and not replace:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    SCENARIO_REGISTRY[spec.name] = spec
+
+
+def load_scenario(name_or_path: str | ScenarioSpec) -> ScenarioSpec:
+    """Resolve a scenario argument: a spec, a registry name, or a JSON path.
+
+    This is the single resolution point behind ``--scenario`` and
+    :func:`repro.experiments.common.run_scenarios`: anything ending in
+    ``.json`` (or naming an existing file) is loaded as a spec document,
+    everything else is looked up in the registry.
+    """
+    if isinstance(name_or_path, ScenarioSpec):
+        return name_or_path
+    path = Path(name_or_path)
+    if str(name_or_path).endswith(".json") or path.is_file():
+        return ScenarioSpec.from_json(path)
+    return scenario(str(name_or_path))

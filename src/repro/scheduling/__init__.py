@@ -18,6 +18,22 @@ scheduler interface expected by :class:`repro.cluster.ClusterSimulator`:
   (:func:`make_unified_scheduler`);
 * :class:`~repro.scheduling.online_search.OnlineSearchScheduler` — runtime
   gradient-descent search for the right allocation (Section 6.5).
+
+Heterogeneity audit
+-------------------
+Every policy here was audited for homogeneous-cluster assumptions when the
+scenario subsystem introduced mixed topologies
+(:mod:`repro.cluster.topologies`).  All capacity decisions resolve against
+the *individual* node — ``Node.can_host`` admission, free-reserved-memory
+scans (``Cluster.nodes_by_free_memory`` sorts by per-node headroom, so the
+early ``break`` on the sorted scan remains valid with mixed RAM sizes),
+Pairwise's first-executor heap (a fraction of *that* node's RAM), the
+isolated baseline's whole-node reservations, and the OOM re-run sizing
+(``data_for_budget_gb`` against the chosen idle node's RAM).  The one
+genuinely homogeneous constant was the Spark dynamic-allocation executor
+cap, which encoded the paper platform's 40 nodes; the scenario runner now
+derives ``DynamicAllocationPolicy(max_executors=len(cluster))`` from the
+actual topology (identical on the paper platform, adaptive elsewhere).
 """
 
 from repro.scheduling.base import ProfilingCost, Scheduler

@@ -26,6 +26,7 @@ from repro.workloads.suites import (
     equivalent_benchmarks,
 )
 from repro.workloads.parsec import PARSEC_BENCHMARKS, ParsecSpec
+from repro.workloads.arrivals import ARRIVAL_KINDS, ArrivalSpec
 from repro.workloads.mixes import (
     SCENARIOS,
     TABLE4_MIX,
@@ -47,6 +48,8 @@ __all__ = [
     "equivalent_benchmarks",
     "PARSEC_BENCHMARKS",
     "ParsecSpec",
+    "ARRIVAL_KINDS",
+    "ArrivalSpec",
     "SCENARIOS",
     "TABLE4_MIX",
     "Job",

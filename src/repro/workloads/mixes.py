@@ -29,15 +29,25 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Job:
-    """One application submission: a benchmark plus a concrete input size."""
+    """One application submission: a benchmark plus a concrete input size.
+
+    ``submit_time_min`` is the simulated minute at which the job enters the
+    scheduling queue.  The paper's Table-3 scenarios are closed batches
+    (everything arrives at t=0, the default); open-arrival scenarios assign
+    later submission times through an arrival process
+    (:mod:`repro.workloads.arrivals`).
+    """
 
     benchmark: str
     input_gb: float
     order: int = 0
+    submit_time_min: float = 0.0
 
     def __post_init__(self) -> None:
         if self.input_gb <= 0:
             raise ValueError("input_gb must be positive")
+        if self.submit_time_min < 0:
+            raise ValueError("submit_time_min cannot be negative")
         # Validate the benchmark name eagerly so a typo fails at mix
         # construction rather than deep inside the simulator.
         benchmark_by_name(self.benchmark)
@@ -136,16 +146,21 @@ def make_random_mix(n_apps: int, rng: np.random.Generator,
     return jobs
 
 
-def make_scenario_mixes(label: str, n_mixes: int = 5,
-                        seed: int = 0) -> list[list[Job]]:
+def make_scenario_mixes(label: str, n_mixes: int = 5, seed: int = 0,
+                        rng: np.random.Generator | None = None) -> list[list[Job]]:
     """Generate ``n_mixes`` random mixes for scenario ``label``.
 
     The paper uses ~100 mixes per scenario; the default here is smaller so
     the full experiment grid stays tractable on a laptop, and callers can
     raise ``n_mixes`` for higher-fidelity runs.
+
+    Passing ``rng`` draws from an existing generator instead of seeding a
+    fresh one, so callers (the scenario subsystem, the CLI ``--seed`` path)
+    can thread one seeded generator through every random choice of a run.
     """
     if n_mixes < 1:
         raise ValueError("n_mixes must be at least 1")
     n_apps = scenario_app_count(label)
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     return [make_random_mix(n_apps, rng) for _ in range(n_mixes)]

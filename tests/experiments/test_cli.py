@@ -41,3 +41,69 @@ class TestCli:
     def test_invalid_worker_count_is_rejected(self):
         with pytest.raises(SystemExit):
             cli.main(["fig13", "--workers", "0"])
+
+
+class TestScenarioMode:
+    def test_list_scenarios_names_registry_entries(self, capsys):
+        assert cli.main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "L10" in out and "poisson_hetero_demo" in out
+
+    def test_runs_named_scenario_with_untrained_schemes(self, capsys):
+        # Oracle and pairwise need no offline training, so this exercises
+        # the full scenario path without touching the model cache.
+        assert cli.main(["--scenario", "poisson_hetero_demo",
+                         "--schemes", "pairwise,oracle", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "poisson_hetero_demo" in out
+        assert "pairwise" in out and "oracle" in out
+
+    def test_runs_scenario_from_json_spec(self, tmp_path, capsys):
+        from repro.scenarios import ScenarioSpec
+
+        path = tmp_path / "tiny.json"
+        ScenarioSpec(name="tiny", jobs=(("HB.Sort", 10.0),),
+                     topology="smallmem24").to_json(path)
+        assert cli.main(["--scenario", str(path),
+                         "--schemes", "pairwise"]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert cli.main(["--scenario", "L99"]) == 2
+        assert "cannot load scenario" in capsys.readouterr().err
+
+    def test_empty_schemes_rejected(self, capsys):
+        assert cli.main(["--scenario", "L1", "--schemes", " , "]) == 2
+        assert "at least one scheme" in capsys.readouterr().err
+
+    def test_unknown_scheme_rejected_before_training(self, capsys):
+        assert cli.main(["--scenario", "L1",
+                         "--schemes", "ours,warp_drive"]) == 2
+        assert "unknown schemes: warp_drive" in capsys.readouterr().err
+
+    def test_wrong_typed_spec_json_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "bad", "n_apps": "ten"}')
+        assert cli.main(["--scenario", str(path)]) == 2
+        assert "cannot load scenario" in capsys.readouterr().err
+
+    def test_truncating_horizon_is_a_clean_error(self, tmp_path, capsys):
+        from repro.scenarios import ScenarioSpec
+        from repro.workloads import ArrivalSpec
+
+        path = tmp_path / "tight.json"
+        ScenarioSpec(name="tight", n_apps=3,
+                     arrival=ArrivalSpec(kind="poisson", rate_per_min=0.001),
+                     max_time_min=10.0).to_json(path)
+        assert cli.main(["--scenario", str(path),
+                         "--schemes", "pairwise"]) == 1
+        err = capsys.readouterr().err
+        assert "truncated the workload" in err and "max_time_min" in err
+
+    def test_scenario_and_experiment_names_conflict(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig6", "--scenario", "L1"])
+
+    def test_invalid_n_mixes_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--scenario", "L1", "--n-mixes", "0"])
