@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.moe import MixtureOfExperts
 from repro.core.training import collect_training_data
-from repro.experiments.common import SchedulerSuite
+from repro.api import SchedulerSuite
 
 
 def pytest_configure(config):

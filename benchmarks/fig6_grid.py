@@ -26,20 +26,21 @@ import json
 import platform
 import time
 
-from repro.experiments.common import SchedulerSuite, run_scenarios
+from repro.api import ExperimentPlan, Session
 
 FULL_SCENARIOS = ("L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10")
 QUICK_SCENARIOS = ("L1", "L5", "L8")
 SCHEMES = ("pairwise", "quasar", "ours", "oracle")
 
 
-def time_grid(suite: SchedulerSuite, scenarios, n_mixes: int, engine: str,
+def time_grid(session: Session, scenarios, n_mixes: int, engine: str,
               workers: int) -> tuple[float, list]:
     """Run the grid once and return (wall-clock seconds, results)."""
+    plan = ExperimentPlan(schemes=SCHEMES, scenarios=scenarios,
+                          n_mixes=n_mixes, seed=11, engine=engine,
+                          workers=workers)
     start = time.perf_counter()
-    results = run_scenarios(SCHEMES, scenarios=scenarios, n_mixes=n_mixes,
-                            seed=11, suite=suite, engine=engine,
-                            workers=workers)
+    results = session.run(plan)
     return time.perf_counter() - start, results
 
 
@@ -64,22 +65,23 @@ def main(argv=None) -> int:
 
     print("training predictor suite once "
           "(shared across both configurations)...")
-    suite = SchedulerSuite()
+    session = Session(use_cache=False)
     # Training is lazy; materialise it now so neither timed grid pays for it.
-    suite.ensure_trained(SCHEMES)
+    session.ensure_trained(SCHEMES)
 
     print(f"baseline: engine=fixed workers=1 "
           f"({len(scenarios)} scenarios x {len(SCHEMES)} schemes x "
           f"{n_mixes} mixes)")
-    baseline_s, baseline_results = time_grid(suite, scenarios, n_mixes,
+    baseline_s, baseline_results = time_grid(session, scenarios, n_mixes,
                                              engine="fixed", workers=1)
     print(f"  {baseline_s:.2f}s")
 
     print(f"candidate: engine=event workers={args.workers}")
-    candidate_s, candidate_results = time_grid(suite, scenarios, n_mixes,
+    candidate_s, candidate_results = time_grid(session, scenarios, n_mixes,
                                                engine="event",
                                                workers=args.workers)
     print(f"  {candidate_s:.2f}s")
+    session.close()
 
     identical = baseline_results == candidate_results
     speedup = baseline_s / candidate_s if candidate_s > 0 else float("inf")

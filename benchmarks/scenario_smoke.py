@@ -1,10 +1,12 @@
-"""CI smoke benchmark of the scenario subsystem.
+"""CI smoke benchmark of the scenario subsystem and the streaming API.
 
 Runs one open-arrival workload on a heterogeneous cluster end-to-end (the
-``poisson_hetero_demo`` registry scenario) under both engines, checks the
-engines agree, and merges timing plus headline metrics into an existing
-benchmark report (``--merge-into BENCH_pr.json``) so scenario-subsystem
-regressions surface in the CI artifact next to the engine benchmark.
+``poisson_hetero_demo`` registry scenario) under both engines — through
+the public :mod:`repro.api` session layer — checks the engines agree, and
+merges timing, headline metrics, and a per-job-records sample from the
+streaming API into an existing benchmark report (``--merge-into
+BENCH_pr.json``) so scenario-subsystem regressions surface in the CI
+artifact next to the engine benchmark.
 
 Usage::
 
@@ -18,8 +20,7 @@ import json
 import time
 from pathlib import Path
 
-from repro.experiments.common import run_scenarios
-from repro.experiments.suite_cache import load_or_train_suite
+from repro.api import ExperimentPlan, Session, fold_cells
 
 SCENARIO = "poisson_hetero_demo"
 SCHEMES = ("pairwise", "ours", "oracle")
@@ -34,23 +35,43 @@ def main(argv=None) -> int:
                         help=f"scenario to smoke-test (default: {SCENARIO})")
     args = parser.parse_args(argv)
 
-    suite = load_or_train_suite()
     rows = {}
     timings = {}
-    for engine in ("fixed", "event"):
-        start = time.perf_counter()
-        results = run_scenarios(SCHEMES, scenarios=(args.scenario,),
-                                n_mixes=1, seed=11, suite=suite,
-                                engine=engine)
-        timings[engine] = round(time.perf_counter() - start, 3)
-        rows[engine] = [
-            {"scheme": r.scheme, "stp": round(r.stp_geomean, 4),
-             "antt_reduction_percent": round(r.antt_reduction_mean, 2),
-             "makespan_min": round(r.makespan_mean_min, 2),
-             "utilization_percent": round(r.utilization_mean_percent, 2)}
-            for r in results
-        ]
+    cells_by_engine = {}
+    with Session() as session:
+        session.ensure_trained(SCHEMES)
+        for engine in ("fixed", "event"):
+            plan = ExperimentPlan(schemes=SCHEMES,
+                                  scenarios=(args.scenario,),
+                                  n_mixes=1, seed=11, engine=engine)
+            start = time.perf_counter()
+            cells = list(session.stream(plan))
+            timings[engine] = round(time.perf_counter() - start, 3)
+            cells_by_engine[engine] = cells
+            results = fold_cells(cells, scenario_order=plan.scenario_names,
+                                 scheme_order=plan.schemes)
+            rows[engine] = [
+                {"scheme": r.scheme, "stp": round(r.stp_geomean, 4),
+                 "antt_reduction_percent": round(r.antt_reduction_mean, 2),
+                 "makespan_min": round(r.makespan_mean_min, 2),
+                 "utilization_percent": round(r.utilization_mean_percent, 2)}
+                for r in results
+            ]
     engines_agree = rows["fixed"] == rows["event"]
+
+    # A per-job-records sample from the streaming API ("ours" cell), so
+    # job-level regressions (wait, profiling delay, slowdown) are visible
+    # in the CI artifact, not just the aggregates.
+    sample_cell = next(c for c in cells_by_engine["event"]
+                       if c.scheme == "ours")
+    job_records_sample = [
+        {"name": record.name,
+         "turnaround_min": round(record.turnaround_min, 2),
+         "wait_min": round(record.wait_min, 2),
+         "profiling_delay_min": round(record.profiling_delay_min, 3),
+         "slowdown": round(record.slowdown, 3)}
+        for record in sample_cell.jobs
+    ]
 
     path = Path(args.merge_into)
     report = json.loads(path.read_text()) if path.is_file() else {}
@@ -60,6 +81,11 @@ def main(argv=None) -> int:
         "wall_clock_s": timings,
         "engines_agree": engines_agree,
         "results": rows["event"],
+        "job_records_sample": {
+            "scheme": sample_cell.scheme,
+            "mix_index": sample_cell.mix_index,
+            "jobs": job_records_sample,
+        },
     }
     path.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -68,6 +94,8 @@ def main(argv=None) -> int:
     for row in rows["event"]:
         print(f"  {row['scheme']:12s} STP={row['stp']:.2f} "
               f"makespan={row['makespan_min']:.1f}min")
+    print(f"  per-job sample ({sample_cell.scheme}): "
+          f"{len(job_records_sample)} records")
     print(f"merged into {path}")
     return 0 if engines_agree else 1
 

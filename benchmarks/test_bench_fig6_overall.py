@@ -11,7 +11,7 @@ import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments import fig6_overall, headline
-from repro.experiments.common import overall_geomean
+from repro.api import overall_geomean
 
 SCENARIOS = ("L1", "L3", "L5", "L8", "L10")
 

@@ -4,7 +4,7 @@ import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments import fig9_unified
-from repro.experiments.common import overall_geomean
+from repro.api import overall_geomean
 
 SCENARIOS = ("L3", "L5", "L8", "L10")
 

@@ -12,7 +12,7 @@ Run with:  python examples/interference_study.py
 """
 
 from repro.experiments import fig14_interference, fig15_parsec
-from repro.experiments.common import SchedulerSuite
+from repro.api import SchedulerSuite
 
 
 def main() -> None:

@@ -1,0 +1,103 @@
+"""The public programmatic interface of the reproduction.
+
+Everything an external caller needs to run experiments lives here, in
+three composable pieces:
+
+* :class:`ExperimentPlan` — a declarative, eagerly validated description
+  of a comparison grid (scenarios × schemes × mixes × seed × engine ×
+  workers);
+* :class:`Session` — a reusable execution context owning the trained
+  predictor artefacts (:class:`SchedulerSuite`), the ``.cache/`` suite
+  cache, and the worker pool;
+* typed results — :class:`CellResult` (streamed per grid cell, with
+  per-job :class:`JobRecord` entries) and :class:`ScenarioResult`
+  (aggregates with across-mix dispersion), all JSON round-trippable.
+
+Scheduling policies are plugins: third-party schedulers join through
+:func:`register_scheme` (re-exported from
+:mod:`repro.scheduling.registry`) without touching any experiment code —
+see ``examples/custom_scheduler_plugin.py``.
+
+Quickstart::
+
+    from repro.api import ExperimentPlan, Session
+
+    plan = ExperimentPlan(schemes=("pairwise", "ours", "oracle"),
+                          scenarios=("L1", "L5"), n_mixes=3, workers=4)
+    with Session() as session:
+        for cell in session.stream(plan):      # typed, as cells complete
+            print(f"{cell.scenario}/{cell.scheme} mix {cell.mix_index}: "
+                  f"STP={cell.stp:.2f} ({len(cell.jobs)} jobs)")
+        rows = session.run(plan)               # deterministic aggregates
+
+The legacy ``repro.experiments.common.run_scenarios`` barrier call is a
+deprecated shim over this package.
+"""
+
+from repro.api.cache import (
+    default_cache_dir,
+    load_or_train_suite,
+    suite_cache_path,
+    suite_fingerprint,
+)
+from repro.api.plan import DEFAULT_SCENARIOS, ExperimentPlan, PlanError
+from repro.api.results import (
+    CellResult,
+    JobRecord,
+    ScenarioResult,
+    cells_from_json,
+    cells_to_json,
+    fold_cells,
+    job_records,
+    overall_geomean,
+    results_from_json,
+    results_to_json,
+)
+from repro.api.session import HorizonTruncationError, Session
+from repro.api.suite import SchedulerSuite
+from repro.scheduling.registry import (
+    SchemeInfo,
+    UnknownSchemeError,
+    is_registered,
+    register_scheme,
+    scheme_info,
+    scheme_names,
+    unregister_scheme,
+    validate_schemes,
+)
+
+__all__ = [
+    # plan
+    "DEFAULT_SCENARIOS",
+    "ExperimentPlan",
+    "PlanError",
+    # session + suite
+    "Session",
+    "SchedulerSuite",
+    "HorizonTruncationError",
+    # results
+    "JobRecord",
+    "CellResult",
+    "ScenarioResult",
+    "job_records",
+    "fold_cells",
+    "overall_geomean",
+    "cells_to_json",
+    "cells_from_json",
+    "results_to_json",
+    "results_from_json",
+    # scheme registry (re-exported)
+    "SchemeInfo",
+    "UnknownSchemeError",
+    "register_scheme",
+    "unregister_scheme",
+    "scheme_names",
+    "scheme_info",
+    "is_registered",
+    "validate_schemes",
+    # suite cache
+    "load_or_train_suite",
+    "suite_fingerprint",
+    "suite_cache_path",
+    "default_cache_dir",
+]

@@ -28,6 +28,7 @@ values for every experiment.
 | Headline numbers | :mod:`repro.experiments.headline` |
 """
 
-from repro.experiments.common import SchedulerSuite, ScenarioResult, run_scenarios
+from repro.api import ScenarioResult, SchedulerSuite
+from repro.experiments.common import run_scenarios
 
 __all__ = ["SchedulerSuite", "ScenarioResult", "run_scenarios"]

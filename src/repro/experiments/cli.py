@@ -15,11 +15,17 @@ set of scheduling schemes::
     python -m repro.experiments --list-scenarios
     python -m repro.experiments --scenario poisson_hetero_demo
     python -m repro.experiments --scenario my_spec.json --schemes oracle,pairwise
+    python -m repro.experiments --scenario L5 --n-mixes 5 --workers 4 \
+        --stream --cells-json cells.json
 
-Every experiment prints the same rows/series as the corresponding paper
-artefact; ``--quick`` shrinks the simulation grids so the full set finishes
-in a few minutes on a laptop.  Trained predictor models are cached under
-``.cache/`` between runs (``--no-cache`` opts out).
+Everything runs through the public API (:mod:`repro.api`): the CLI builds
+an :class:`~repro.api.ExperimentPlan` — scheme and scenario names are
+validated *eagerly*, with errors that list what is registered — and
+executes it in one shared :class:`~repro.api.Session`, which owns the
+trained-model disk cache under ``.cache/`` (``--no-cache`` opts out) and
+the worker pool.  ``--stream`` prints each (scenario, scheme, mix) cell
+as it completes; ``--cells-json`` exports the typed per-cell results
+(including per-job records) as JSON.
 """
 
 from __future__ import annotations
@@ -27,6 +33,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import (
+    ExperimentPlan,
+    PlanError,
+    Session,
+    UnknownSchemeError,
+    cells_to_json,
+    fold_cells,
+)
+from repro.cluster.engine import STEP_MODES
 from repro.experiments import (
     fig3_memory_curves,
     fig4_pca,
@@ -44,14 +59,7 @@ from repro.experiments import (
     headline,
     table5_classifiers,
 )
-from repro.cluster.engine import STEP_MODES
-from repro.experiments.common import (
-    HorizonTruncationError,
-    KNOWN_SCHEMES,
-    SchedulerSuite,
-    run_scenarios,
-)
-from repro.experiments.suite_cache import load_or_train_suite
+from repro.experiments.common import HorizonTruncationError
 from repro.scenarios import load_scenario, scenario_names, SCENARIO_REGISTRY
 
 __all__ = ["main", "EXPERIMENTS", "DEFAULT_SCENARIO_SCHEMES"]
@@ -61,105 +69,117 @@ DEFAULT_SCENARIO_SCHEMES: tuple[str, ...] = ("isolated", "pairwise", "ours",
                                              "oracle")
 
 
-def _run_fig6(suite, options):
+def _run_fig6(session, options):
     scenarios = ("L1", "L3", "L5", "L8", "L10") if options.quick else tuple(
         f"L{i}" for i in range(1, 11))
     results = fig6_overall.run(scenarios=scenarios,
                                n_mixes=2 if options.quick else 5,
-                               suite=suite, engine=options.engine,
-                               workers=options.workers)
+                               engine=options.engine,
+                               workers=options.workers, session=session)
     print(fig6_overall.format_table(results))
     print(headline.format_table(headline.summarize(results)))
 
 
-def _run_fig9(suite, options):
+def _run_fig9(session, options):
     scenarios = (("L3", "L5", "L8") if options.quick
                  else tuple(f"L{i}" for i in range(1, 11)))
     print(fig9_unified.format_table(
         fig9_unified.run(scenarios=scenarios,
                          n_mixes=1 if options.quick else 3,
-                         suite=suite, engine=options.engine,
-                         workers=options.workers)))
+                         engine=options.engine,
+                         workers=options.workers, session=session)))
 
 
-def _run_fig10(suite, options):
+def _run_fig10(session, options):
     scenarios = (("L3", "L5") if options.quick
                  else tuple(f"L{i}" for i in range(1, 11)))
     print(fig10_online_search.format_table(
         fig10_online_search.run(scenarios=scenarios,
                                 n_mixes=1 if options.quick else 3,
-                                suite=suite, engine=options.engine,
-                                workers=options.workers)))
+                                engine=options.engine,
+                                workers=options.workers, session=session)))
 
 
-def _run_fig7(suite, options):
+def _run_fig7(session, options):
     print(fig7_8_utilization.format_table(
-        fig7_8_utilization.run(suite=suite, engine=options.engine)))
+        fig7_8_utilization.run(suite=session.suite, engine=options.engine)))
 
 
-def _run_fig11_12(suite, options):
+def _run_fig11_12(session, options):
     scenarios = (("L1", "L5") if options.quick
                  else ("L1", "L3", "L5", "L8", "L10"))
     per_scenario = fig11_12_overhead.run_per_scenario(scenarios=scenarios,
-                                                      n_mixes=1, suite=suite,
+                                                      n_mixes=1,
+                                                      suite=session.suite,
                                                       engine=options.engine)
     per_benchmark = fig11_12_overhead.run_per_benchmark()
     print(fig11_12_overhead.format_table(per_scenario, per_benchmark))
 
 
-def _run_fig14(suite, options):
+def _run_fig14(session, options):
     kwargs = ({"co_runners_per_target": 4} if options.quick
               else {"co_runners_per_target": 10})
     print(fig14_interference.format_table(
-        fig14_interference.run(suite=suite, engine=options.engine, **kwargs)))
+        fig14_interference.run(suite=session.suite, engine=options.engine,
+                               **kwargs)))
 
 
-#: Experiment name -> (description, runner taking (suite, options)).
+#: Experiment name -> (description, runner taking (session, options)).
 EXPERIMENTS = {
     "fig3": ("Figure 3 — Sort/PageRank memory curves",
-             lambda suite, options: print(fig3_memory_curves.format_table(
-                 fig3_memory_curves.run(moe=suite.moe)))),
+             lambda session, options: print(fig3_memory_curves.format_table(
+                 fig3_memory_curves.run(moe=session.suite.moe)))),
     "fig4": ("Figure 4 / Table 2 — PCA variance and feature importance",
-             lambda suite, options: print(fig4_pca.format_table(
-                 fig4_pca.run(dataset=suite.dataset)))),
+             lambda session, options: print(fig4_pca.format_table(
+                 fig4_pca.run(dataset=session.suite.dataset)))),
     "fig6": ("Figure 6 — STP/ANTT for Pairwise, Quasar, ours, Oracle", _run_fig6),
     "fig7": ("Figures 7/8 — Table 4 mix utilisation and turnaround", _run_fig7),
     "fig9": ("Figure 9 — unified single-model comparison", _run_fig9),
     "fig10": ("Figure 10 — online-search comparison", _run_fig10),
     "fig11": ("Figures 11/12 — profiling overhead", _run_fig11_12),
     "fig13": ("Figure 13 — CPU load distribution",
-              lambda suite, options: print(fig13_cpu_load.format_table(
+              lambda session, options: print(fig13_cpu_load.format_table(
                   fig13_cpu_load.run()))),
     "fig14": ("Figure 14 — Spark co-location interference", _run_fig14),
     "fig15": ("Figure 15 — PARSEC co-location interference",
-              lambda suite, options: print(fig15_parsec.format_table(
+              lambda session, options: print(fig15_parsec.format_table(
                   fig15_parsec.run()))),
     "fig16": ("Figure 16 — feature-space clusters",
-              lambda suite, options: print(fig16_clusters.format_table(
-                  fig16_clusters.run(moe=suite.moe)))),
+              lambda session, options: print(fig16_clusters.format_table(
+                  fig16_clusters.run(moe=session.suite.moe)))),
     "fig17": ("Figure 17 — prediction accuracy",
-              lambda suite, options: print(fig17_accuracy.format_table(
-                  fig17_accuracy.run(moe=suite.moe)))),
+              lambda session, options: print(fig17_accuracy.format_table(
+                  fig17_accuracy.run(moe=session.suite.moe)))),
     "fig18": ("Figure 18 — per-benchmark memory curves",
-              lambda suite, options: print(fig18_curves.format_table(
-                  fig18_curves.run(moe=suite.moe)))),
+              lambda session, options: print(fig18_curves.format_table(
+                  fig18_curves.run(moe=session.suite.moe)))),
     "table5": ("Table 5 — classifier comparison",
-               lambda suite, options: print(table5_classifiers.format_table(
-                   table5_classifiers.run(dataset=suite.dataset)))),
+               lambda session, options: print(table5_classifiers.format_table(
+                   table5_classifiers.run(dataset=session.suite.dataset)))),
 }
 
 
 def format_scenario_table(spec, results) -> str:
-    """Render the per-scheme metrics of one scenario run."""
+    """Render the per-scheme metrics of one scenario run.
+
+    Alongside the headline aggregates, the across-mix dispersion columns
+    (STP standard deviation, ANTT-reduction range) show how stable each
+    scheme is over the drawn mixes.
+    """
     lines = [f"scenario {spec.name}: topology={spec.topology} "
              f"arrival={spec.arrival.kind}"]
     if spec.description:
         lines.append(f"  {spec.description}")
-    lines.append(f"{'scheme':18s} {'STP':>7s} {'ANTT red.%':>11s} "
+    lines.append(f"{'scheme':18s} {'STP':>7s} {'±std':>6s} "
+                 f"{'ANTT red.%':>11s} {'[min..max]':>17s} "
                  f"{'makespan(min)':>14s} {'util.%':>7s}")
     for row in results:
+        antt_range = (f"[{row.antt_reduction_min:.1f}.."
+                      f"{row.antt_reduction_max:.1f}]")
         lines.append(f"{row.scheme:18s} {row.stp_geomean:7.2f} "
+                     f"{row.stp_std:6.2f} "
                      f"{row.antt_reduction_mean:11.1f} "
+                     f"{antt_range:>17s} "
                      f"{row.makespan_mean_min:14.1f} "
                      f"{row.utilization_mean_percent:7.1f}")
     return "\n".join(lines)
@@ -176,37 +196,33 @@ def _run_scenario_mode(args) -> int:
               file=sys.stderr)
         return 2
     schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
-    if not schemes:
-        print("--schemes must name at least one scheme", file=sys.stderr)
-        return 2
-    unknown = [s for s in schemes if s not in KNOWN_SCHEMES]
-    if unknown:
-        print(f"unknown schemes: {', '.join(unknown)} "
-              f"(known: {', '.join(KNOWN_SCHEMES)})", file=sys.stderr)
-        return 2
-    suite = _make_suite(args, schemes)
     try:
-        results = run_scenarios(schemes, scenarios=(spec,),
-                                n_mixes=args.n_mixes, seed=args.seed,
-                                suite=suite, engine=args.engine,
-                                workers=args.workers)
+        plan = ExperimentPlan(schemes=schemes, scenarios=(spec,),
+                              n_mixes=args.n_mixes, seed=args.seed,
+                              engine=args.engine, workers=args.workers)
+    except (PlanError, UnknownSchemeError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    cells = []
+    try:
+        with Session(use_cache=not args.no_cache) as session:
+            for cell in session.stream(plan):
+                cells.append(cell)
+                if args.stream:
+                    print(f"cell {cell.scenario}/{cell.scheme} "
+                          f"mix={cell.mix_index}: STP={cell.stp:.2f} "
+                          f"makespan={cell.makespan_min:.1f}min "
+                          f"({len(cell.jobs)} jobs)")
     except HorizonTruncationError as error:
         print(str(error), file=sys.stderr)
         return 1
+    if args.cells_json:
+        cells_to_json(cells, path=args.cells_json)
+        print(f"wrote {len(cells)} cell result(s) to {args.cells_json}")
+    results = fold_cells(cells, scenario_order=plan.scenario_names,
+                         scheme_order=plan.schemes)
     print(format_scenario_table(spec, results))
     return 0
-
-
-def _make_suite(args, schemes=None) -> SchedulerSuite:
-    """Build the shared suite, using the disk cache when training is needed.
-
-    When every requested scheme is prediction-free the suite stays lazy and
-    untrained; otherwise the trained artefacts come from ``.cache/`` (or a
-    fresh training run with ``--no-cache``).
-    """
-    if schemes is None or SchedulerSuite.needs_training(schemes):
-        return load_or_train_suite(use_cache=not args.no_cache)
-    return SchedulerSuite()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -220,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="list available experiments and exit")
     parser.add_argument("--list-scenarios", action="store_true",
                         help="list registered scenarios and exit")
+    parser.add_argument("--list-schemes", action="store_true",
+                        help="list registered scheduling schemes and exit")
     parser.add_argument("--scenario", metavar="NAME|SPEC.json",
                         help="run one declarative scenario (registry name "
                              "or spec JSON path) across --schemes")
@@ -233,6 +251,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=11, metavar="N",
                         help="seed of the generator driving mix generation "
                              "and arrival processes (default: 11)")
+    parser.add_argument("--stream", action="store_true",
+                        help="in --scenario mode, print each grid cell as "
+                             "it completes")
+    parser.add_argument("--cells-json", metavar="PATH",
+                        help="in --scenario mode, export the typed per-cell "
+                             "results (with per-job records) as JSON")
     parser.add_argument("--quick", action="store_true",
                         help="use reduced simulation grids")
     parser.add_argument("--engine", choices=list(STEP_MODES), default="event",
@@ -258,6 +282,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:24s} {SCENARIO_REGISTRY[name].description}")
         return 0
 
+    if args.list_schemes:
+        from repro.scheduling.registry import scheme_info, scheme_names
+
+        for name in scheme_names():
+            requires = scheme_info(name).requires
+            print(f"  {name:24s} requires: {requires or '-'}")
+        return 0
+
     if args.scenario:
         if args.experiments:
             parser.error("--scenario cannot be combined with experiment "
@@ -275,11 +307,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
-    suite = _make_suite(args)
-    for name in requested:
-        description, runner = EXPERIMENTS[name]
-        print(f"\n=== {name}: {description} ===")
-        runner(suite, args)
+    with Session(use_cache=not args.no_cache) as session:
+        # The figure experiments all read trained models; materialise them
+        # once up front (from the disk cache when allowed), exactly as the
+        # pre-API CLI did.
+        session.ensure_trained()
+        for name in requested:
+            description, runner = EXPERIMENTS[name]
+            print(f"\n=== {name}: {description} ===")
+            runner(session, args)
     return 0
 
 

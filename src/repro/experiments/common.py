@@ -1,234 +1,44 @@
-"""Shared infrastructure for the scheduling experiments.
+"""Legacy shared infrastructure for the scheduling experiments.
 
-The comparative experiments (Figures 6–10) all follow the same recipe: for
-each scenario, draw a number of application mixes, simulate every
-scheduling scheme on each mix, and aggregate STP (geometric mean, as in
-Section 5.2) and ANTT reduction.  This module provides that recipe once so
-the per-figure drivers stay small.
+.. deprecated::
+    The experiment engine moved to :mod:`repro.api` — build an
+    :class:`~repro.api.ExperimentPlan` and execute it through a
+    :class:`~repro.api.Session` (``session.run(plan)`` for the old
+    barrier semantics, ``session.stream(plan)`` for typed per-cell
+    results as they complete).  Scheme names are resolved through the
+    plugin registry (:mod:`repro.scheduling.registry`), so third-party
+    policies register themselves instead of editing this module.
 
-Scenarios are declarative (:mod:`repro.scenarios`): an entry of
-``scenarios`` may be a registry name (``"L1"``..``"L10"``, the seed
-Table-3 batches, or an open-arrival/heterogeneous scenario), a path to a
-spec JSON document, or a :class:`~repro.scenarios.spec.ScenarioSpec`
-object.  One seeded generator per scenario drives both mix generation and
-the arrival process, so a (scenario, seed) pair pins the whole workload.
-
-Because every (scenario, scheme, mix) cell is an independent simulation,
-:func:`run_scenarios` can fan the grid out over worker processes
-(``workers=N``).  Workers share the one trained predictor suite — the
-training dataset plus its models — by pickling it once into each worker,
-mirroring the paper's one-off offline training cost.
+This module remains as a compatibility shim: :func:`run_scenarios`
+reproduces its historical behaviour — including bit-for-bit identical
+:class:`~repro.api.ScenarioResult` aggregates — on top of the new
+session layer, and the old names (:class:`SchedulerSuite`,
+:class:`ScenarioResult`, :class:`HorizonTruncationError`,
+``DEFAULT_SCENARIOS``, ``overall_geomean``) re-export from
+:mod:`repro.api`.  ``KNOWN_SCHEMES`` is now a live view of the scheme
+registry rather than a hardcoded tuple.
 """
 
 from __future__ import annotations
 
-import pickle
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import warnings
 
-import numpy as np
-
-from repro.cluster.simulator import ClusterSimulator
-from repro.core.moe import MixtureOfExperts
-from repro.core.training import TrainingDataset, collect_training_data
-from repro.metrics.throughput import ScheduleEvaluation, evaluate_schedule
-from repro.ml.metrics import geometric_mean
-from repro.scenarios.registry import load_scenario
-from repro.scenarios.spec import ScenarioSpec
-from repro.scheduling import (
-    IsolatedScheduler,
-    OnlineSearchScheduler,
-    PairwiseScheduler,
-    make_moe_scheduler,
-    make_oracle_scheduler,
-    make_quasar_scheduler,
-    make_unified_scheduler,
-)
-from repro.spark.driver import DynamicAllocationPolicy
-from repro.workloads.mixes import Job
+from repro.api.plan import DEFAULT_SCENARIOS, ExperimentPlan
+from repro.api.results import ScenarioResult, overall_geomean
+from repro.api.session import HorizonTruncationError, Session
+from repro.api.suite import SchedulerSuite
+from repro.scheduling.registry import scheme_names
 
 __all__ = ["SchedulerSuite", "ScenarioResult", "run_scenarios",
-           "DEFAULT_SCENARIOS", "KNOWN_SCHEMES", "HorizonTruncationError"]
-
-#: Scenario labels used by default (all of Table 3).
-DEFAULT_SCENARIOS: tuple[str, ...] = ("L1", "L2", "L3", "L4", "L5",
-                                      "L6", "L7", "L8", "L9", "L10")
-
-#: Every scheme name understood by :meth:`SchedulerSuite.factory`.
-KNOWN_SCHEMES: tuple[str, ...] = (
-    "isolated", "pairwise", "online_search", "quasar", "ours", "oracle",
-    "unified_ann", "unified_power_law", "unified_exponential",
-    "unified_napierian_log",
-)
-
-#: Schemes whose schedulers require offline-trained artefacts, and which
-#: artefact each needs ("dataset" or "moe").
-_TRAINED_ARTEFACTS: dict[str, str] = {
-    "quasar": "dataset",
-    "ours": "moe",
-    "unified_ann": "dataset",
-}
+           "DEFAULT_SCENARIOS", "HorizonTruncationError", "overall_geomean"]
 
 
-class HorizonTruncationError(RuntimeError):
-    """A scenario's horizon cut the workload short, so the headline metrics
-    (STP/ANTT over *completed* turnarounds) are undefined for the run."""
-
-
-class SchedulerSuite:
-    """Lazily trained scheduler factories sharing one predictor suite.
-
-    Training the mixture of experts and the comparison models once and
-    sharing them across every simulated mix mirrors the paper's one-off
-    offline training cost (Section 3.3) and keeps the experiment grid fast.
-    Training is *lazy*: a suite used only for prediction-free schemes
-    (isolated, pairwise, oracle, online search) never trains at all, and
-    :func:`repro.experiments.suite_cache.load_or_train_suite` can satisfy
-    the trained artefacts from a disk cache instead.
-    """
-
-    def __init__(self, dataset: TrainingDataset | None = None,
-                 moe: MixtureOfExperts | None = None) -> None:
-        self._dataset = dataset
-        self._moe = moe
-
-    @property
-    def dataset(self) -> TrainingDataset:
-        """The offline training dataset, collected on first use."""
-        if self._dataset is None:
-            self._dataset = collect_training_data()
-        return self._dataset
-
-    @property
-    def moe(self) -> MixtureOfExperts:
-        """The trained mixture of experts, fitted on first use."""
-        if self._moe is None:
-            self._moe = MixtureOfExperts.from_dataset(self.dataset)
-        return self._moe
-
-    def is_trained(self) -> bool:
-        """Whether both trained artefacts are materialised."""
-        return self._dataset is not None and self._moe is not None
-
-    @staticmethod
-    def needs_training(schemes) -> bool:
-        """Whether any of the given schemes requires trained artefacts."""
-        return any(scheme in _TRAINED_ARTEFACTS for scheme in schemes)
-
-    def ensure_trained(self, schemes=None) -> None:
-        """Materialise the trained artefacts the given schemes need.
-
-        With ``schemes=None`` everything is trained.  Called before the
-        suite is pickled into worker processes, so workers receive trained
-        models rather than each re-training their own.
-        """
-        if schemes is None:
-            self.moe
-            return
-        for scheme in schemes:
-            artefact = _TRAINED_ARTEFACTS.get(scheme)
-            if artefact == "dataset":
-                self.dataset
-            elif artefact == "moe":
-                self.moe
-
-    def factory(self, scheme: str,
-                allocation_policy: DynamicAllocationPolicy | None = None):
-        """Return a zero-argument factory building a fresh scheduler.
-
-        ``allocation_policy`` overrides the schedulers' Spark-like dynamic
-        allocation; the scenario runner derives it from the actual topology
-        so executor targets track the cluster size instead of assuming the
-        paper's 40 nodes.
-        """
-        kwargs = ({} if allocation_policy is None
-                  else {"allocation_policy": allocation_policy})
-        if scheme == "isolated":
-            return lambda: IsolatedScheduler(**kwargs)
-        if scheme == "pairwise":
-            return lambda: PairwiseScheduler(**kwargs)
-        if scheme == "online_search":
-            return lambda: OnlineSearchScheduler(**kwargs)
-        if scheme == "quasar":
-            return lambda: make_quasar_scheduler(dataset=self.dataset, **kwargs)
-        if scheme == "ours":
-            return lambda: make_moe_scheduler(moe=self.moe, **kwargs)
-        if scheme == "oracle":
-            return lambda: make_oracle_scheduler(**kwargs)
-        if scheme == "unified_ann":
-            return lambda: make_unified_scheduler("ann", dataset=self.dataset,
-                                                  **kwargs)
-        if scheme in ("unified_power_law", "unified_exponential",
-                      "unified_napierian_log"):
-            family = scheme.replace("unified_", "")
-            return lambda: make_unified_scheduler(family, **kwargs)
-        raise KeyError(f"unknown scheduling scheme {scheme!r}")
-
-
-@dataclass
-class ScenarioResult:
-    """Aggregated metrics of one scheme on one scenario."""
-
-    scheme: str
-    scenario: str
-    stp_geomean: float
-    stp_min: float
-    stp_max: float
-    antt_reduction_mean: float
-    makespan_mean_min: float
-    utilization_mean_percent: float
-
-
-def _simulate(suite: "SchedulerSuite", scheme: str, jobs: list[Job],
-              time_step_min: float, seed: int, engine: str,
-              spec: ScenarioSpec) -> ScheduleEvaluation:
-    """Simulate one mix of one scenario under one scheme.
-
-    The cluster is built fresh from the scenario's topology, and the
-    dynamic-allocation executor cap follows the cluster size (for the
-    paper's 40-node platform this matches the seed's fixed default
-    exactly).
-    """
-    cluster = spec.build_cluster()
-    policy = DynamicAllocationPolicy(max_executors=len(cluster))
-    factory = suite.factory(scheme, allocation_policy=policy)
-    simulator = ClusterSimulator(cluster, factory(),
-                                 time_step_min=time_step_min, seed=seed,
-                                 step_mode=engine,
-                                 max_time_min=spec.max_time_min)
-    result = simulator.run(jobs)
-    if not result.all_finished():
-        unfinished = sum(1 for app in result.apps.values()
-                         if app.finish_time is None)
-        raise HorizonTruncationError(
-            f"scenario {spec.name!r} ({scheme}): horizon "
-            f"max_time_min={spec.max_time_min:g} truncated the workload — "
-            f"{len(result.unsubmitted_jobs)} job(s) never arrived, "
-            f"{unfinished} app(s) unfinished; raise the spec's max_time_min")
-    return evaluate_schedule(result, jobs, policy)
-
-
-#: Per-process scheduler suite rebuilt once per worker (see _init_worker).
-_WORKER_SUITE: SchedulerSuite | None = None
-
-
-def _init_worker(suite_blob: bytes) -> None:
-    """Process-pool initialiser: rebuild the shared suite in this worker.
-
-    The parent pickles the suite — its training dataset plus the trained
-    mixture of experts — once; unpickling here gives every worker the
-    exact predictors of the sequential path, including any customised
-    models the caller installed on the suite.
-    """
-    global _WORKER_SUITE
-    _WORKER_SUITE = pickle.loads(suite_blob)
-
-
-def _run_cell(task: tuple) -> tuple[int, ScheduleEvaluation]:
-    """Simulate one (scenario, scheme, mix) grid cell in a worker."""
-    index, scheme, jobs, time_step_min, seed, engine, spec = task
-    return index, _simulate(_WORKER_SUITE, scheme, jobs, time_step_min, seed,
-                            engine, spec)
+def __getattr__(name: str):
+    # KNOWN_SCHEMES used to be a hardcoded tuple; keep it importable as a
+    # live snapshot of the plugin registry so late registrations show up.
+    if name == "KNOWN_SCHEMES":
+        return scheme_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
@@ -238,99 +48,29 @@ def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
                   workers: int = 1) -> list[ScenarioResult]:
     """Run the full scenario × mix × scheme grid and aggregate per scenario.
 
-    Parameters
-    ----------
-    schemes:
-        Scheme names understood by :meth:`SchedulerSuite.factory`.
-    scenarios:
-        Scenario identifiers: registry names (``"L1"``..``"L10"``, demo
-        scenarios), paths to spec JSON documents, or
-        :class:`~repro.scenarios.spec.ScenarioSpec` objects.
-    n_mixes:
-        Random mixes per scenario (the paper uses ~100; the default keeps
-        the grid laptop-sized and can be raised for higher fidelity).
-    seed:
-        Seed of the per-scenario generator driving mix generation and
-        arrival processes, and of the simulators.
-    suite:
-        Shared scheduler suite; a fresh one is created when omitted and
-        trained lazily, only if a scheme requires trained artefacts.
-    engine:
-        Simulator step mode, ``"event"`` (default) or ``"fixed"``; both
-        produce the same trajectories, the event engine just skips the
-        steps at which nothing can change.
-    workers:
-        Number of worker processes for the grid.  ``1`` (default) runs
-        in-process; larger values fan the independent grid cells out over
-        a :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are
-        identical regardless of the worker count.
+    .. deprecated::
+        Thin wrapper over :class:`repro.api.Session`; prefer::
+
+            plan = ExperimentPlan(schemes=schemes, scenarios=scenarios, ...)
+            with Session() as session:
+                results = session.run(plan)
+
+    Scheme and scenario names are validated eagerly — an unknown scheme
+    raises :class:`repro.scheduling.registry.UnknownSchemeError` (listing
+    the registered names) before any training or simulation starts, and
+    duplicate scheme or scenario entries, which the pre-API runner
+    silently turned into repeated rows, are now rejected with
+    :class:`~repro.api.PlanError`.  For every input that passes
+    validation the output is unchanged: the same :class:`ScenarioResult`
+    rows, bit-for-bit, in scenario-major order.
     """
-    if workers < 1:
-        raise ValueError("workers must be at least 1")
-    suite = suite or SchedulerSuite()
-    specs = [load_scenario(entry) for entry in scenarios]
-
-    cells: list[tuple] = []   # (index, scheme, jobs, step, seed, engine, spec)
-    layout: list[tuple[str, str]] = []   # (scenario, scheme) per result row
-    per_row: dict[int, list[int]] = {}   # result row -> cell indices
-    for spec in specs:
-        mixes = spec.make_mixes(n_mixes=n_mixes, seed=seed)
-        for scheme in schemes:
-            row = len(layout)
-            layout.append((spec.name, scheme))
-            per_row[row] = []
-            for mix in mixes:
-                per_row[row].append(len(cells))
-                cells.append((len(cells), scheme, mix, time_step_min, seed,
-                              engine, spec))
-
-    evaluations: dict[int, ScheduleEvaluation] = {}
-    if workers == 1:
-        for cell in cells:
-            index, evaluation = _run_cell_local(suite, cell)
-            evaluations[index] = evaluation
-    else:
-        suite.ensure_trained(schemes)
-        blob = pickle.dumps(suite)
-        with ProcessPoolExecutor(max_workers=workers,
-                                 initializer=_init_worker,
-                                 initargs=(blob,)) as pool:
-            for index, evaluation in pool.map(_run_cell, cells):
-                evaluations[index] = evaluation
-
-    results: list[ScenarioResult] = []
-    for row, (scenario, scheme) in enumerate(layout):
-        row_evals = [evaluations[i] for i in per_row[row]]
-        results.append(ScenarioResult(
-            scheme=scheme,
-            scenario=scenario,
-            stp_geomean=geometric_mean([e.stp for e in row_evals]),
-            stp_min=min(e.stp for e in row_evals),
-            stp_max=max(e.stp for e in row_evals),
-            antt_reduction_mean=float(np.mean(
-                [e.antt_reduction_percent for e in row_evals])),
-            makespan_mean_min=float(np.mean(
-                [e.makespan_min for e in row_evals])),
-            utilization_mean_percent=float(np.mean(
-                [e.mean_utilization_percent for e in row_evals])),
-        ))
-    return results
-
-
-def _run_cell_local(suite: SchedulerSuite,
-                    task: tuple) -> tuple[int, ScheduleEvaluation]:
-    """Simulate one grid cell in-process (the ``workers=1`` path)."""
-    index, scheme, jobs, time_step_min, seed, engine, spec = task
-    return index, _simulate(suite, scheme, jobs, time_step_min, seed, engine,
-                            spec)
-
-
-def overall_geomean(results: list[ScenarioResult], scheme: str,
-                    metric: str = "stp_geomean") -> float:
-    """Geometric mean of a metric across scenarios for one scheme."""
-    values = [getattr(r, metric) for r in results if r.scheme == scheme]
-    if not values:
-        raise KeyError(f"no results recorded for scheme {scheme!r}")
-    if metric == "antt_reduction_mean":
-        return float(np.mean(values))
-    return geometric_mean(values)
+    warnings.warn(
+        "run_scenarios() is deprecated; build a repro.api.ExperimentPlan "
+        "and execute it with repro.api.Session.run() or .stream()",
+        DeprecationWarning, stacklevel=2)
+    plan = ExperimentPlan(schemes=tuple(schemes), scenarios=scenarios,
+                          n_mixes=n_mixes, seed=seed,
+                          time_step_min=time_step_min, engine=engine,
+                          workers=workers)
+    with Session(suite=suite, use_cache=False) as session:
+        return session.run(plan)

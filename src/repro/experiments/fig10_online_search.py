@@ -7,12 +7,13 @@ roughly 2.4x/2.6x worse than the mixture-of-experts approach on STP/ANTT.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
+from repro.api import (
     DEFAULT_SCENARIOS,
+    ExperimentPlan,
     ScenarioResult,
     SchedulerSuite,
+    Session,
     overall_geomean,
-    run_scenarios,
 )
 
 __all__ = ["SCHEMES", "run", "format_table", "stp_advantage"]
@@ -23,11 +24,16 @@ SCHEMES: tuple[str, ...] = ("online_search", "ours")
 
 def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
         suite: SchedulerSuite | None = None,
-        engine: str = "event", workers: int = 1) -> list[ScenarioResult]:
+        engine: str = "event", workers: int = 1,
+        session: Session | None = None) -> list[ScenarioResult]:
     """Reproduce Figure 10 over the requested scenarios."""
-    return run_scenarios(SCHEMES, scenarios=scenarios, n_mixes=n_mixes,
-                         seed=seed, suite=suite, engine=engine,
-                         workers=workers)
+    plan = ExperimentPlan(schemes=SCHEMES, scenarios=scenarios,
+                          n_mixes=n_mixes, seed=seed, engine=engine,
+                          workers=workers)
+    if session is not None:
+        return session.run(plan)
+    with Session(suite=suite, use_cache=False) as own_session:
+        return own_session.run(plan)
 
 
 def stp_advantage(results: list[ScenarioResult]) -> float:

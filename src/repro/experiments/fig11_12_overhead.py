@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.cluster.cluster import paper_cluster
 from repro.cluster.simulator import ClusterSimulator
-from repro.experiments.common import SchedulerSuite
+from repro.api import SchedulerSuite
 from repro.profiling.profiler import Profiler
 from repro.workloads.mixes import make_scenario_mixes
 from repro.workloads.suites import TRAINING_BENCHMARKS

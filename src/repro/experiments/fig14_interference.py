@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.simulator import ClusterSimulator
-from repro.experiments.common import SchedulerSuite
+from repro.api import SchedulerSuite
 from repro.metrics.slowdown import slowdown_percent
 from repro.workloads.mixes import Job
 from repro.workloads.suites import ALL_BENCHMARKS, TRAINING_BENCHMARKS

@@ -2,34 +2,56 @@
 
 This is the paper's headline comparison: normalized STP (Figure 6a) and
 ANTT reduction (Figure 6b) for every runtime scenario of Table 3, with the
-isolated one-by-one execution as the baseline.
+isolated one-by-one execution as the baseline.  The grid runs entirely
+through :mod:`repro.api`: :func:`plan` builds the declarative grid and
+:func:`run` executes it in a session.
 """
 
 from __future__ import annotations
 
-from repro.experiments.common import (
+from repro.api import (
     DEFAULT_SCENARIOS,
+    ExperimentPlan,
     ScenarioResult,
     SchedulerSuite,
+    Session,
     overall_geomean,
-    run_scenarios,
 )
 
-__all__ = ["SCHEMES", "run", "format_table"]
+__all__ = ["SCHEMES", "plan", "run", "format_table"]
 
 #: The four schemes shown in Figure 6, plus the baseline for reference.
 SCHEMES: tuple[str, ...] = ("pairwise", "quasar", "ours", "oracle")
 
 
+def plan(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
+         include_isolated: bool = False,
+         engine: str = "event", workers: int = 1) -> ExperimentPlan:
+    """The declarative Figure 6 grid."""
+    schemes = SCHEMES + (("isolated",) if include_isolated else ())
+    return ExperimentPlan(schemes=schemes, scenarios=scenarios,
+                          n_mixes=n_mixes, seed=seed, engine=engine,
+                          workers=workers)
+
+
 def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
         suite: SchedulerSuite | None = None,
         include_isolated: bool = False,
-        engine: str = "event", workers: int = 1) -> list[ScenarioResult]:
-    """Reproduce Figure 6 over the requested scenarios."""
-    schemes = SCHEMES + (("isolated",) if include_isolated else ())
-    return run_scenarios(schemes, scenarios=scenarios, n_mixes=n_mixes,
-                         seed=seed, suite=suite, engine=engine,
-                         workers=workers)
+        engine: str = "event", workers: int = 1,
+        session: Session | None = None) -> list[ScenarioResult]:
+    """Reproduce Figure 6 over the requested scenarios.
+
+    Pass an existing :class:`~repro.api.Session` to share its trained
+    artefacts and worker pool; otherwise a throwaway session wraps the
+    given ``suite`` (no disk cache involved, as before).
+    """
+    grid = plan(scenarios=scenarios, n_mixes=n_mixes, seed=seed,
+                include_isolated=include_isolated, engine=engine,
+                workers=workers)
+    if session is not None:
+        return session.run(grid)
+    with Session(suite=suite, use_cache=False) as own_session:
+        return own_session.run(grid)
 
 
 def format_table(results: list[ScenarioResult]) -> str:

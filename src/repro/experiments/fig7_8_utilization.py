@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.cluster.cluster import paper_cluster
 from repro.cluster.simulator import ClusterSimulator
-from repro.experiments.common import SchedulerSuite
+from repro.api import SchedulerSuite
 from repro.metrics.throughput import evaluate_schedule
 from repro.metrics.utilization import utilization_matrix
 from repro.workloads.mixes import make_table4_jobs

@@ -8,11 +8,12 @@ experts should match or beat all of them on STP and ANTT.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
+from repro.api import (
     DEFAULT_SCENARIOS,
+    ExperimentPlan,
     ScenarioResult,
     SchedulerSuite,
-    run_scenarios,
+    Session,
 )
 
 __all__ = ["SCHEMES", "run", "format_table"]
@@ -29,11 +30,16 @@ SCHEMES: tuple[str, ...] = (
 
 def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
         suite: SchedulerSuite | None = None,
-        engine: str = "event", workers: int = 1) -> list[ScenarioResult]:
+        engine: str = "event", workers: int = 1,
+        session: Session | None = None) -> list[ScenarioResult]:
     """Reproduce Figure 9 over the requested scenarios."""
-    return run_scenarios(SCHEMES, scenarios=scenarios, n_mixes=n_mixes,
-                         seed=seed, suite=suite, engine=engine,
-                         workers=workers)
+    plan = ExperimentPlan(schemes=SCHEMES, scenarios=scenarios,
+                          n_mixes=n_mixes, seed=seed, engine=engine,
+                          workers=workers)
+    if session is not None:
+        return session.run(plan)
+    with Session(suite=suite, use_cache=False) as own_session:
+        return own_session.run(plan)
 
 
 def format_table(results: list[ScenarioResult]) -> str:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import ScenarioResult, overall_geomean
+from repro.api import ScenarioResult, overall_geomean
 from repro.experiments import fig6_overall
 
 __all__ = ["HeadlineNumbers", "run", "summarize", "format_table"]

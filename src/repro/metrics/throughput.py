@@ -21,6 +21,7 @@ from repro.workloads.suites import benchmark_by_name
 __all__ = [
     "isolated_reference_min",
     "baseline_turnarounds_min",
+    "matched_apps",
     "system_throughput",
     "antt",
     "antt_reduction_percent",
@@ -61,16 +62,22 @@ def baseline_turnarounds_min(jobs: list[Job],
     return turnarounds
 
 
-def _matched_apps(result: SimulationResult, jobs: list[Job],
-                  policy: DynamicAllocationPolicy | None):
-    """Pair each application with its job and isolated reference time."""
+def matched_apps(result: SimulationResult, jobs: list[Job],
+                 policy: DynamicAllocationPolicy | None = None):
+    """Pair each job with its application and isolated reference time.
+
+    Returns ``(job, app, reference_min)`` triples in submission order,
+    resolving the simulator's instance-naming convention (a benchmark's
+    second occurrence in a mix is ``"<benchmark>#1"``, and so on).
+    """
     matched = []
     counts: dict[str, int] = {}
     for job in jobs:
         occurrence = counts.get(job.benchmark, 0)
         counts[job.benchmark] = occurrence + 1
         name = f"{job.benchmark}#{occurrence}" if occurrence else job.benchmark
-        matched.append((result.apps[name], isolated_reference_min(job, policy)))
+        matched.append((job, result.apps[name],
+                        isolated_reference_min(job, policy)))
     return matched
 
 
@@ -85,8 +92,9 @@ def system_throughput(result: SimulationResult, jobs: list[Job],
     to 1, and the values reported for the co-location schemes are directly
     the "normalized STP" of the paper's Figure 6a.
     """
-    pairs = _matched_apps(result, jobs, policy)
-    return float(sum(reference / app.turnaround_min() for app, reference in pairs))
+    triples = matched_apps(result, jobs, policy)
+    return float(sum(reference / app.turnaround_min()
+                     for _, app, reference in triples))
 
 
 def antt(result: SimulationResult, jobs: list[Job],
@@ -97,9 +105,9 @@ def antt(result: SimulationResult, jobs: list[Job],
     and its completion (Section 5.3), so ``C_cl`` here is the turnaround
     time — queueing and profiling included.
     """
-    pairs = _matched_apps(result, jobs, policy)
+    triples = matched_apps(result, jobs, policy)
     return float(np.mean([app.turnaround_min() / reference
-                          for app, reference in pairs]))
+                          for _, app, reference in triples]))
 
 
 def baseline_antt(jobs: list[Job],

@@ -114,7 +114,7 @@ def load_scenario(name_or_path: str | ScenarioSpec) -> ScenarioSpec:
     """Resolve a scenario argument: a spec, a registry name, or a JSON path.
 
     This is the single resolution point behind ``--scenario`` and
-    :func:`repro.experiments.common.run_scenarios`: anything ending in
+    :class:`repro.api.ExperimentPlan`: anything ending in
     ``.json`` (or naming an existing file) is loaded as a spec document,
     everything else is looked up in the registry.
     """

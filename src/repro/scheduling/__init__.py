@@ -19,6 +19,14 @@ scheduler interface expected by :class:`repro.cluster.ClusterSimulator`:
 * :class:`~repro.scheduling.online_search.OnlineSearchScheduler` — runtime
   gradient-descent search for the right allocation (Section 6.5).
 
+Scheme registry
+---------------
+The experiment and API layers look schedulers up by *scheme name* through
+the plugin registry (:mod:`repro.scheduling.registry`): every scheme above
+is pre-registered, and third-party policies join with
+``@register_scheme("name", requires="moe"|"dataset"|None)`` — no edits to
+the experiment core required.
+
 Heterogeneity audit
 -------------------
 Every policy here was audited for homogeneous-cluster assumptions when the
@@ -55,6 +63,18 @@ from repro.scheduling.factories import (
     make_quasar_scheduler,
     make_unified_scheduler,
 )
+from repro.scheduling.registry import (
+    SchemeInfo,
+    UnknownSchemeError,
+    build_scheduler,
+    is_registered,
+    register_scheme,
+    required_artefacts,
+    scheme_info,
+    scheme_names,
+    unregister_scheme,
+    validate_schemes,
+)
 
 __all__ = [
     "ProfilingCost",
@@ -73,4 +93,14 @@ __all__ = [
     "make_oracle_scheduler",
     "make_quasar_scheduler",
     "make_unified_scheduler",
+    "SchemeInfo",
+    "UnknownSchemeError",
+    "register_scheme",
+    "unregister_scheme",
+    "scheme_names",
+    "scheme_info",
+    "is_registered",
+    "validate_schemes",
+    "required_artefacts",
+    "build_scheduler",
 ]
