@@ -55,6 +55,7 @@ from repro.api.results import (
 )
 from repro.api.session import HorizonTruncationError, Session
 from repro.api.suite import SchedulerSuite
+from repro.cluster.faults import FaultEvent, FaultSpec, FaultSummary, load_fault_spec
 from repro.scheduling.registry import (
     SchemeInfo,
     UnknownSchemeError,
@@ -79,6 +80,11 @@ __all__ = [
     "JobRecord",
     "CellResult",
     "ScenarioResult",
+    # dynamic-cluster events (re-exported)
+    "FaultSpec",
+    "FaultEvent",
+    "FaultSummary",
+    "load_fault_spec",
     "job_records",
     "fold_cells",
     "overall_geomean",

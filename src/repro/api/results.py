@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.cluster.faults import FaultSummary
 from repro.cluster.simulator import SimulationResult
 from repro.metrics.throughput import matched_apps
 from repro.ml.metrics import geometric_mean
@@ -133,10 +134,13 @@ class CellResult:
     makespan_min: float
     mean_utilization_percent: float
     jobs: tuple[JobRecord, ...]
+    #: Fault/recovery telemetry of the cell's schedule; ``None`` when the
+    #: scenario declared no dynamic-cluster behaviour (the seed shape).
+    faults: FaultSummary | None = None
 
     def to_dict(self) -> dict:
-        """JSON-ready dict form."""
-        return {
+        """JSON-ready dict form (the ``faults`` key appears only when set)."""
+        payload = {
             "scenario": self.scenario,
             "scheme": self.scheme,
             "mix_index": self.mix_index,
@@ -149,6 +153,9 @@ class CellResult:
             "mean_utilization_percent": self.mean_utilization_percent,
             "jobs": [record.to_dict() for record in self.jobs],
         }
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CellResult":
@@ -156,6 +163,8 @@ class CellResult:
         kwargs = dict(payload)
         kwargs["jobs"] = tuple(JobRecord.from_dict(record)
                                for record in kwargs["jobs"])
+        if kwargs.get("faults") is not None:
+            kwargs["faults"] = FaultSummary.from_dict(kwargs["faults"])
         return cls(**kwargs)
 
 
@@ -182,10 +191,19 @@ class ScenarioResult:
     antt_reduction_min: float = 0.0
     antt_reduction_max: float = 0.0
     n_mixes: int = 0
+    #: Across-mix fault/recovery telemetry (only meaningful when the
+    #: scenario declared dynamic-cluster behaviour; ``faulty`` says so).
+    faulty: bool = False
+    availability_mean_percent: float = 100.0
+    node_failures_mean: float = 0.0
+    preemptions_mean: float = 0.0
+    jobs_disrupted_mean: float = 0.0
+    work_lost_gb_mean: float = 0.0
+    rerun_time_mean_min: float = 0.0
 
     def to_dict(self) -> dict:
         """JSON-ready dict form."""
-        return {
+        payload = {
             "scheme": self.scheme,
             "scenario": self.scenario,
             "stp_geomean": self.stp_geomean,
@@ -200,6 +218,17 @@ class ScenarioResult:
             "antt_reduction_max": self.antt_reduction_max,
             "n_mixes": self.n_mixes,
         }
+        if self.faulty:
+            payload.update({
+                "faulty": True,
+                "availability_mean_percent": self.availability_mean_percent,
+                "node_failures_mean": self.node_failures_mean,
+                "preemptions_mean": self.preemptions_mean,
+                "jobs_disrupted_mean": self.jobs_disrupted_mean,
+                "work_lost_gb_mean": self.work_lost_gb_mean,
+                "rerun_time_mean_min": self.rerun_time_mean_min,
+            })
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ScenarioResult":
@@ -238,6 +267,24 @@ def fold_cells(cells: Iterable[CellResult],
             row.sort(key=lambda c: c.mix_index)
             stps = [c.stp for c in row]
             antt_reds = [c.antt_reduction_percent for c in row]
+            fault_kwargs = {}
+            summaries = [c.faults for c in row if c.faults is not None]
+            if summaries:
+                fault_kwargs = {
+                    "faulty": True,
+                    "availability_mean_percent": float(np.mean(
+                        [s.availability_percent for s in summaries])),
+                    "node_failures_mean": float(np.mean(
+                        [s.node_failures for s in summaries])),
+                    "preemptions_mean": float(np.mean(
+                        [s.preemptions for s in summaries])),
+                    "jobs_disrupted_mean": float(np.mean(
+                        [s.jobs_disrupted for s in summaries])),
+                    "work_lost_gb_mean": float(np.mean(
+                        [s.work_lost_gb for s in summaries])),
+                    "rerun_time_mean_min": float(np.mean(
+                        [s.rerun_time_min for s in summaries])),
+                }
             results.append(ScenarioResult(
                 scheme=scheme,
                 scenario=scenario,
@@ -254,6 +301,7 @@ def fold_cells(cells: Iterable[CellResult],
                 antt_reduction_min=min(antt_reds),
                 antt_reduction_max=max(antt_reds),
                 n_mixes=len(row),
+                **fault_kwargs,
             ))
     return results
 

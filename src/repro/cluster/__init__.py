@@ -11,12 +11,17 @@ package provides the equivalent simulated infrastructure:
   coarse-grained (windowed) memory and CPU usage to the coordinator;
 * :mod:`repro.cluster.yarn` — the resource-manager bookkeeping used by the
   job dispatcher to reserve executor containers;
-* :mod:`repro.cluster.events` — the simulation clock and event log;
+* :mod:`repro.cluster.events` — the typed event bus (and retained log)
+  every simulation component publishes to and subscribes on;
+* :mod:`repro.cluster.faults` — dynamic cluster events: declarative and
+  stochastic node failures/recoveries, autoscale joins, executor
+  preemption, stragglers, plus streaming fault telemetry;
 * :mod:`repro.cluster.simulator` — the co-location simulator, modelling
   CPU contention, memory-bandwidth interference, paging when a node's
   resident memory exceeds its RAM, and out-of-memory executor failures;
 * :mod:`repro.cluster.engine` — the engines advancing simulated time: the
-  event-driven default and the fixed-step fallback.
+  event-driven default and the fixed-step fallback, sharing one
+  scheduling-epoch lifecycle.
 """
 
 from repro.cluster.node import Node
@@ -27,7 +32,14 @@ from repro.cluster.topologies import (
     register_topology,
     topology_names,
 )
-from repro.cluster.events import Event, EventKind, EventLog
+from repro.cluster.events import Event, EventBus, EventKind, EventLog
+from repro.cluster.faults import (
+    FAULT_PROFILES,
+    FaultEvent,
+    FaultSpec,
+    FaultSummary,
+    load_fault_spec,
+)
 from repro.cluster.resource_monitor import ResourceMonitor
 from repro.cluster.yarn import ContainerRequest, ResourceManager
 from repro.cluster.engine import (
@@ -51,8 +63,14 @@ __all__ = [
     "register_topology",
     "topology_names",
     "Event",
+    "EventBus",
     "EventKind",
     "EventLog",
+    "FAULT_PROFILES",
+    "FaultEvent",
+    "FaultSpec",
+    "FaultSummary",
+    "load_fault_spec",
     "ResourceMonitor",
     "ContainerRequest",
     "ResourceManager",

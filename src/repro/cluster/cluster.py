@@ -62,6 +62,29 @@ class Cluster:
             raise KeyError(f"unknown node id {node_id}")
         return self.nodes[node_id]
 
+    # ------------------------------------------------------------------
+    # Dynamic membership
+    # ------------------------------------------------------------------
+    def add_node(self, ram_gb: float = 64.0, swap_gb: float = 16.0,
+                 cores: int = 16) -> Node:
+        """Grow the cluster by one brand-new node (autoscale join).
+
+        The new node receives the next consecutive id, so id-ordered
+        scans and per-node traces extend naturally.
+        """
+        node = Node(node_id=len(self.nodes), ram_gb=ram_gb,
+                    swap_gb=swap_gb, cores=cores)
+        self.nodes.append(node)
+        return node
+
+    def up_nodes(self) -> list[Node]:
+        """Nodes currently part of the live cluster, in id order."""
+        return [node for node in self.nodes if node.is_up]
+
+    def up_count(self) -> int:
+        """Number of live nodes (the basis for live executor caps)."""
+        return sum(1 for node in self.nodes if node.is_up)
+
     @property
     def total_ram_gb(self) -> float:
         """Aggregate physical memory across the cluster."""
@@ -72,13 +95,19 @@ class Cluster:
         return sum(node.reserved_memory_gb for node in self.nodes)
 
     def nodes_by_free_memory(self) -> list[Node]:
-        """Nodes sorted by unreserved memory, most available first."""
-        return sorted(self.nodes, key=lambda n: n.free_reserved_memory_gb,
+        """Live nodes sorted by unreserved memory, most available first.
+
+        Down nodes never appear in placement scans; with every node up
+        (the no-fault case) this is the full node list, as it always was.
+        """
+        return sorted((n for n in self.nodes if n.is_up),
+                      key=lambda n: n.free_reserved_memory_gb,
                       reverse=True)
 
     def idle_nodes(self) -> list[Node]:
-        """Nodes that currently host no active executor."""
-        return [node for node in self.nodes if not node.active_executors()]
+        """Live nodes that currently host no active executor."""
+        return [node for node in self.nodes
+                if node.is_up and not node.active_executors()]
 
     def active_applications(self) -> set[str]:
         """Applications with at least one active executor anywhere."""

@@ -11,20 +11,30 @@ Two interchangeable engines drive :class:`~repro.cluster.simulator.ClusterSimula
   which only schedulers alter, and contention factors follow node
   membership), so the engine analytically computes the next state-changing
   event — earliest executor finish, job arrival, profiling-ready
-  transition, a scheduler-requested wake-up, or the rescan tick that bounds
-  how stale a waiting queue may become — and jumps simulated time directly to it,
-  computing per-node progress with NumPy instead of per-executor Python
-  loops.  Out-of-memory kills and paging transitions can only occur when
-  node membership changes, so they are resolved instantaneously right
-  after each scheduler invocation.
+  transition, a dynamic-cluster fault event, a scheduler-requested wake-up,
+  or the rescan tick that bounds how stale a waiting queue may become —
+  and jumps simulated time directly to it, computing per-node progress with
+  NumPy instead of per-executor Python loops.  Out-of-memory kills and
+  paging transitions can only occur when node membership changes, so they
+  are resolved instantaneously right after each scheduler invocation.
+
+The **lifecycle of one scheduling epoch is shared**: :meth:`_EngineBase.run`
+owns the loop — job arrivals, dynamic-cluster fault application, OOM
+re-runs, the scheduler invocation, completion finalisation — and each
+engine contributes only its :meth:`_advance_epoch`, i.e. how simulated
+time moves between epochs.  Both engines therefore publish the *same*
+typed events on the simulator's event bus at the same times; everything
+downstream (resource monitor, streaming metrics, fault telemetry) is an
+engine-agnostic subscriber.
 
 Every event time is rounded **up to the ``time_step_min`` grid**, which is
 where executor finishes land under the fixed-step engine and hence where
-schedulers observe freed resources.  Because reservations, footprints and
-contention factors are all piecewise-constant between scheduler
-invocations, the grid-aligned jumps reproduce the fixed-step trajectory —
-placements, failures, finish times and monitor samples — while skipping
-every step at which nothing can change.
+schedulers observe freed resources.  Because reservations, footprints,
+node speeds and contention factors are all piecewise-constant between
+scheduler invocations — fault events are themselves grid-aligned epochs —
+the grid-aligned jumps reproduce the fixed-step trajectory — placements,
+failures, finish times and monitor samples — while skipping every step at
+which nothing can change.
 """
 
 from __future__ import annotations
@@ -34,7 +44,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.events import EventKind
+from repro.cluster.events import (
+    ClusterSample,
+    EventKind,
+    ExecutorFinished,
+    ExecutorOOM,
+    SchedulerWake,
+)
 from repro.spark.application import ApplicationState
 from repro.spark.executor import Executor, ExecutorState
 
@@ -45,15 +61,58 @@ STEP_MODES: tuple[str, ...] = ("fixed", "event")
 
 
 class _EngineBase:
-    """State shared by both engines.
+    """The shared scheduling-epoch lifecycle.
 
     The engine owns the *dynamics* of a simulation — how executors make
     progress and how failures are resolved — while the simulator owns the
-    *state*: cluster, applications, monitor, event log and result assembly.
+    *state*: cluster, applications, event bus and result assembly.  The
+    epoch loop lives here once; subclasses implement only
+    :meth:`_advance_epoch` (and may override :meth:`_within_horizon` for
+    their numerically exact loop bound).
     """
 
     def __init__(self, sim) -> None:
         self.sim = sim
+
+    # ------------------------------------------------------------------
+    # The unified lifecycle loop
+    # ------------------------------------------------------------------
+    def run(self, context) -> float:
+        """Drive the simulation to completion; returns the final time."""
+        sim = self.sim
+        now = 0.0
+        self._start(context)
+        while self._within_horizon(now):
+            context.now = now
+            sim.process_arrivals(context, now)
+            sim.apply_faults(context, now)
+            self.rerun_oom_data_in_isolation(context)
+            sim.events.publish(SchedulerWake(time=now))
+            sim.scheduler.schedule(context)
+            next_now = self._advance_epoch(context, now)
+            if next_now is None:
+                # No executor running, nothing queued, nothing pending:
+                # the remaining applications finished this very epoch.
+                break
+            now = next_now
+            self.finalize_completed_apps(now)
+            if not sim.pending_jobs and self._all_finished():
+                break
+        return now
+
+    def _start(self, context) -> None:
+        """Hook: reset per-run engine state before the first epoch."""
+
+    def _within_horizon(self, now: float) -> bool:
+        return now < self.sim.max_time_min
+
+    def _advance_epoch(self, context, now: float) -> float | None:
+        """Advance simulated time past one scheduling epoch.
+
+        Returns the new simulated time, or ``None`` when nothing can
+        ever change again (the run is over).
+        """
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Shared recovery / completion logic
@@ -126,9 +185,9 @@ class _EngineBase:
             )
             node.remove_executor(victim)
             self._forget_executor(victim)
-            sim.events.record(now, EventKind.EXECUTOR_OOM,
-                              app=victim.app_name, node_id=node.node_id,
-                              detail=f"returned={lost:.1f}GB")
+            sim.events.publish(ExecutorOOM(
+                time=now, app=victim.app_name, node_id=node.node_id,
+                lost_gb=lost, detail=f"returned={lost:.1f}GB"))
             active = node.active_executors()
             total_memory = sum(footprint_of(e) for e in active)
         return active, total_memory
@@ -140,35 +199,23 @@ class _EngineBase:
 class FixedStepEngine(_EngineBase):
     """Advance time in constant ``time_step_min`` increments."""
 
-    def run(self, context) -> float:
-        sim = self.sim
-        now = 0.0
-        while now < sim.max_time_min:
-            context.now = now
-            sim.process_arrivals(context, now)
-            self.rerun_oom_data_in_isolation(context)
-            sim.scheduler.schedule(context)
-            self._advance_executors(now)
-            now += sim.time_step_min
-            self.finalize_completed_apps(now)
-            if not sim.pending_jobs and self._all_finished():
-                break
-        return now
+    def _advance_epoch(self, context, now: float) -> float:
+        self._advance_executors(now)
+        return now + self.sim.time_step_min
 
     def _advance_executors(self, now: float) -> None:
         sim = self.sim
         dt = sim.time_step_min
-        # The utilisation timestamp and every per-node trace sample are
-        # recorded here, side by side, so index ``i`` of ``utilization_times``
-        # is the sample time (minutes) of index ``i`` of every node trace.
-        if sim.record_utilization:
-            sim._utilization_times.append(now)
+        # One usage sample per node per step, published as a single batch
+        # on the bus; the monitor, the trace recorder and the streaming
+        # statistics all consume the same event, so index ``i`` of the
+        # recorded times is the sample time of index ``i`` of every node
+        # trace.
+        samples: list[tuple[int, float, float, float]] = []
         for node in sim.cluster.nodes:
             active = node.active_executors()
             if not active:
-                sim.monitor.record(now, node.node_id, 0.0, 0.0)
-                if sim.record_utilization:
-                    sim._utilization[node.node_id].append(0.0)
+                samples.append((node.node_id, 0.0, 0.0, 0.0))
                 continue
 
             active, total_memory = self._resolve_node_oom(
@@ -184,23 +231,24 @@ class FixedStepEngine(_EngineBase):
                                   detail=f"resident={total_memory:.1f}GB")
             memory_factor = sim.interference.paging_slowdown if paging else 1.0
             bandwidth_factor = sim.interference.bandwidth_factor(len(active))
+            speed_factor = node.speed_factor
 
             for executor in list(active):
                 spec = sim.specs[executor.app_name]
                 rate = (spec.rate_gb_per_min * cpu_factor * memory_factor
-                        * bandwidth_factor)
+                        * bandwidth_factor * speed_factor)
                 executor.advance(rate * dt)
                 if executor.state is ExecutorState.FINISHED:
                     node.remove_executor(executor)
-                    sim.events.record(now + dt, EventKind.EXECUTOR_FINISHED,
-                                      app=executor.app_name,
-                                      node_id=node.node_id)
+                    sim.events.publish(ExecutorFinished(
+                        time=now + dt, app=executor.app_name,
+                        node_id=node.node_id))
 
             utilization = min(total_cpu, 1.0) * cpu_factor * 100.0
-            sim.monitor.record(now, node.node_id, total_memory,
-                               min(total_cpu, 1.0))
-            if sim.record_utilization:
-                sim._utilization[node.node_id].append(utilization)
+            samples.append((node.node_id, total_memory,
+                            min(total_cpu, 1.0), utilization))
+        sim.events.publish(ClusterSample(time=now, times=(now,),
+                                         samples=tuple(samples)))
 
 
 @dataclass
@@ -255,44 +303,43 @@ class EventDrivenEngine(_EngineBase):
         self.rescan_min = rescan_min
         # executor_id -> (assigned_gb, footprint_gb); footprints follow the
         # assigned data, so the cache invalidates itself when a dispatcher
-        # grows an executor's share.
+        # grows an executor's share.  Executors lost to dynamic-cluster
+        # events (node failure, preemption) are dropped via the bus.
         self._footprints: dict[int, tuple[float, float]] = {}
+        self._sample_idx = 0
+        sim.events.subscribe(self._on_executor_lost,
+                             kinds=(EventKind.EXECUTOR_KILLED,
+                                    EventKind.EXECUTOR_PREEMPTED))
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Epoch advancement
     # ------------------------------------------------------------------
-    def run(self, context) -> float:
+    def _start(self, context) -> None:
+        self._sample_idx = 0  # next uniform sample grid index (= idx * dt)
+
+    def _within_horizon(self, now: float) -> bool:
+        return now < self.sim.max_time_min - 1e-9
+
+    def _advance_epoch(self, context, now: float) -> float | None:
         sim = self.sim
         eps = 1e-9
-        now = 0.0
-        sample_idx = 0  # next uniform sample grid index (time = idx * dt)
-        while now < sim.max_time_min - eps:
-            context.now = now
-            sim.process_arrivals(context, now)
-            self.rerun_oom_data_in_isolation(context)
-            sim.scheduler.schedule(context)
-            self._kill_oom_victims(now)
-            state = self._cluster_state(now)
-            t_next = min(self._next_finish(now, state),
-                         self._next_arrival(now),
-                         self._next_profiling_ready(now),
-                         self._scheduler_wake(now),
-                         self._rescan_tick(now),
-                         sim.max_time_min)
-            if not math.isfinite(t_next):
-                # No executor running, nothing queued, nothing pending:
-                # the remaining applications finished this very epoch.
-                break
-            if t_next <= now + eps:  # safety net; events are strictly future
-                t_next = now + sim.time_step_min
-            sample_idx = self._record_interval(now, t_next, state.per_node,
-                                               sample_idx)
-            self._advance(state, t_next - now, t_next)
-            now = t_next
-            self.finalize_completed_apps(now)
-            if not sim.pending_jobs and self._all_finished():
-                break
-        return now
+        self._kill_oom_victims(now)
+        state = self._cluster_state(now)
+        t_next = min(self._next_finish(now, state),
+                     self._next_arrival(now),
+                     self._next_profiling_ready(now),
+                     self._next_fault(now),
+                     self._scheduler_wake(now),
+                     self._rescan_tick(now),
+                     sim.max_time_min)
+        if not math.isfinite(t_next):
+            return None
+        if t_next <= now + eps:  # safety net; events are strictly future
+            t_next = now + sim.time_step_min
+        self._sample_idx = self._record_interval(now, t_next, state.per_node,
+                                                 self._sample_idx)
+        self._advance(state, t_next - now, t_next)
+        return t_next
 
     # ------------------------------------------------------------------
     # Event horizon
@@ -330,6 +377,16 @@ class EventDrivenEngine(_EngineBase):
         if arrival is None:
             return math.inf
         return self._align(arrival, now)
+
+    def _next_fault(self, now: float) -> float:
+        """Earliest pending dynamic-cluster event, grid-aligned.
+
+        The fault timeline is realized before the first epoch (plus
+        follow-ups scheduled deterministically at apply time), so fault
+        events are analytic exactly like arrivals: the engine jumps to
+        the grid step at which the fixed-step engine would apply them.
+        """
+        return self._align(self.sim.next_fault_min(), now)
 
     def _next_profiling_ready(self, now: float) -> float:
         """Earliest future profiling-window expiry of an unfinished app."""
@@ -382,6 +439,11 @@ class EventDrivenEngine(_EngineBase):
     def _forget_executor(self, executor: Executor) -> None:
         self._footprints.pop(executor.executor_id, None)
 
+    def _on_executor_lost(self, event) -> None:
+        """Bus subscriber: an executor was killed by a dynamic-cluster event."""
+        if event.executor_id is not None:
+            self._footprints.pop(event.executor_id, None)
+
     def _kill_oom_victims(self, now: float) -> None:
         """Resolve OOM kills right after placement decisions.
 
@@ -421,7 +483,8 @@ class EventDrivenEngine(_EngineBase):
                                   detail=f"resident={total_memory:.1f}GB")
             memory_factor = sim.interference.paging_slowdown if paging else 1.0
             factor = (cpu_factor * memory_factor
-                      * sim.interference.bandwidth_factor(len(active)))
+                      * sim.interference.bandwidth_factor(len(active))
+                      * node.speed_factor)
             rates = [sim.specs[e.app_name].rate_gb_per_min * factor
                      for e in active]
             per_node.append(_NodeState(
@@ -442,11 +505,12 @@ class EventDrivenEngine(_EngineBase):
 
     def _record_interval(self, t0: float, t1: float,
                          states: list[_NodeState], sample_idx: int) -> int:
-        """Record monitor/utilisation samples on the uniform grid in [t0, t1).
+        """Publish the uniform-grid usage samples covered by [t0, t1).
 
-        The node state is constant over the interval, so every grid point it
-        covers receives the same values — reproducing exactly the samples
-        the fixed-step engine would have recorded.
+        The node state is constant over the interval, so every grid point
+        it covers receives the same values — one :class:`ClusterSample`
+        batch reproduces exactly the samples the fixed-step engine would
+        have published step by step.
         """
         sim = self.sim
         dt = sim.time_step_min
@@ -458,15 +522,13 @@ class EventDrivenEngine(_EngineBase):
             t = sample_idx * dt
         if not times:
             return sample_idx
-        if sim.record_utilization:
-            sim._utilization_times.extend(times)
-        for state in states:
-            sim.monitor.record_many(times, state.node.node_id,
-                                    state.total_memory_gb,
-                                    min(state.total_cpu, 1.0))
-            if sim.record_utilization:
-                sim._utilization[state.node.node_id].extend(
-                    [state.utilization] * len(times))
+        samples = tuple(
+            (state.node.node_id, state.total_memory_gb,
+             min(state.total_cpu, 1.0), state.utilization)
+            for state in states
+        )
+        sim.events.publish(ClusterSample(time=t0, times=tuple(times),
+                                         samples=samples))
         return sample_idx
 
     def _advance(self, state: _ClusterState, delta_min: float,
@@ -484,9 +546,9 @@ class EventDrivenEngine(_EngineBase):
                 node = state.nodes[i]
                 node.remove_executor(executor)
                 self._forget_executor(executor)
-                sim.events.record(t_end, EventKind.EXECUTOR_FINISHED,
-                                  app=executor.app_name,
-                                  node_id=node.node_id)
+                sim.events.publish(ExecutorFinished(
+                    time=t_end, app=executor.app_name,
+                    node_id=node.node_id))
 
 
 def make_engine(step_mode: str, sim, **kwargs):

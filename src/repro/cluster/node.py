@@ -39,6 +39,14 @@ class Node:
     swap_gb: float = 16.0
     cores: int = 16
     executors: list[Executor] = field(default_factory=list)
+    #: Whether the node is currently part of the live cluster; failed or
+    #: decommissioned nodes stay in the topology (their id is stable) but
+    #: are skipped by every placement scan and admission test.
+    is_up: bool = True
+    #: Progress multiplier applied to every executor on this node; the
+    #: straggler fault model lowers it below 1.0 and restores it on
+    #: recovery.  Healthy nodes run at exactly 1.0.
+    speed_factor: float = 1.0
     # Reservation aggregates are queried by schedulers many times per
     # placement pass; they are cached and invalidated on membership changes
     # and executor state transitions (executors notify their node).
@@ -57,6 +65,29 @@ class Node:
             raise ValueError("swap_gb cannot be negative")
         if self.cores < 1:
             raise ValueError("cores must be at least 1")
+        if self.speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+
+    # ------------------------------------------------------------------
+    # Dynamic-cluster state transitions
+    # ------------------------------------------------------------------
+    def mark_down(self) -> None:
+        """Take the node out of the live cluster (failure/decommission)."""
+        self.is_up = False
+        self.speed_factor = 1.0
+        self.invalidate_reservations()
+
+    def mark_up(self) -> None:
+        """Return a failed node to the live cluster, at full speed."""
+        self.is_up = True
+        self.speed_factor = 1.0
+        self.invalidate_reservations()
+
+    def set_speed(self, factor: float) -> None:
+        """Set the straggler progress multiplier (1.0 = healthy)."""
+        if factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        self.speed_factor = factor
 
     # ------------------------------------------------------------------
     # Executor management
@@ -144,8 +175,9 @@ class Node:
         This is the paper's co-location admission test: the executor's
         memory must fit in the unreserved RAM, and the aggregate CPU load
         of all co-running tasks must not exceed 100 % (Section 4.3).
+        Down nodes host nothing.
         """
-        if memory_gb <= 0:
+        if memory_gb <= 0 or not self.is_up:
             return False
         return (
             memory_gb <= self.free_reserved_memory_gb + 1e-9

@@ -1,4 +1,4 @@
-"""Per-node resource monitoring.
+"""Per-node resource monitoring, fed by the cluster event bus.
 
 Each computing node runs a daemon that periodically reports its memory
 usage and CPU load to a central resource monitor; the paper's
@@ -6,6 +6,19 @@ implementation reports averages over a 5-minute window read from
 ``/proc`` (Section 4.2).  Because the reporting is coarse grained, the job
 dispatcher may act on slightly stale information — this staleness is part
 of what the simulation reproduces.
+
+Since the event-bus refactor the monitor no longer receives direct calls
+from the engines: it *subscribes* to the transient
+:class:`~repro.cluster.events.ClusterSample` events both engines publish
+(:meth:`ResourceMonitor.attach`).  Two sibling subscribers live here for
+the same reason:
+
+* :class:`UtilizationTraceRecorder` keeps the full per-node utilisation
+  traces used by the Figure 7 heat map (opt-in, O(steps) memory — the
+  one consumer that genuinely needs the matrix);
+* :class:`StreamingUtilization` keeps O(nodes) running means, so
+  headline utilisation numbers are available even when trace recording
+  is disabled.
 """
 
 from __future__ import annotations
@@ -13,7 +26,10 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from dataclasses import dataclass
 
-__all__ = ["ResourceMonitor"]
+from repro.cluster.events import EventKind
+
+__all__ = ["ResourceMonitor", "UtilizationTraceRecorder",
+           "StreamingUtilization"]
 
 
 @dataclass(frozen=True)
@@ -88,3 +104,88 @@ class ResourceMonitor:
     def has_samples(self, node_id: int) -> bool:
         """Whether any sample has been recorded for the node."""
         return bool(self._samples.get(node_id))
+
+    # ------------------------------------------------------------------
+    # Event-bus subscription
+    # ------------------------------------------------------------------
+    def attach(self, bus) -> "ResourceMonitor":
+        """Subscribe to the :class:`ClusterSample` events on a bus."""
+        bus.subscribe(self._on_sample, kinds=(EventKind.CLUSTER_SAMPLE,))
+        return self
+
+    def _on_sample(self, event) -> None:
+        times = list(event.times)
+        for node_id, memory_gb, cpu_load, _ in event.samples:
+            self.record_many(times, node_id, memory_gb, cpu_load)
+
+
+class UtilizationTraceRecorder:
+    """Full per-node utilisation traces, recorded from the sample stream.
+
+    Reproduces — bit for bit — the trace matrices the engines used to
+    build directly: ``times[i]`` stamps sample ``i`` of every node trace,
+    and a node joining mid-run (autoscale) is back-filled with zeros so
+    every trace always spans the full timeline.
+    """
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.trace: dict[int, list[float]] = {}
+
+    def attach(self, bus) -> "UtilizationTraceRecorder":
+        """Subscribe to the :class:`ClusterSample` events on a bus."""
+        bus.subscribe(self._on_sample, kinds=(EventKind.CLUSTER_SAMPLE,))
+        return self
+
+    def ensure_node(self, node_id: int) -> None:
+        """Make sure a node has a trace list (zero-padded to now)."""
+        self.trace.setdefault(node_id, [0.0] * len(self.times))
+
+    def _on_sample(self, event) -> None:
+        base = len(self.times)
+        self.times.extend(event.times)
+        n = len(event.times)
+        for node_id, _, _, utilization in event.samples:
+            trace = self.trace.setdefault(node_id, [0.0] * base)
+            trace.extend([utilization] * n)
+
+
+class StreamingUtilization:
+    """O(nodes) running utilisation statistics from the sample stream.
+
+    The streaming counterpart of averaging the full trace matrix: per
+    node it keeps only a sum, plus one global sample count, so the
+    memory cost is independent of simulation length.  Per-node means
+    divide by the *global* count — a node that joined mid-run is thereby
+    treated as idle (zero utilisation) before its join, exactly like the
+    zero-backfilled traces of :class:`UtilizationTraceRecorder`, so the
+    streaming mean agrees with the trace-based reduction.
+    """
+
+    def __init__(self) -> None:
+        self._sums: dict[int, float] = {}
+        self._n_samples = 0
+
+    def attach(self, bus) -> "StreamingUtilization":
+        """Subscribe to the :class:`ClusterSample` events on a bus."""
+        bus.subscribe(self._on_sample, kinds=(EventKind.CLUSTER_SAMPLE,))
+        return self
+
+    def _on_sample(self, event) -> None:
+        n = len(event.times)
+        self._n_samples += n
+        for node_id, _, _, utilization in event.samples:
+            self._sums[node_id] = self._sums.get(node_id, 0.0) + utilization * n
+
+    def node_mean_percent(self, node_id: int) -> float:
+        """Running mean utilisation of one node (0 when never sampled)."""
+        if not self._n_samples:
+            return 0.0
+        return self._sums.get(node_id, 0.0) / self._n_samples
+
+    def mean_percent(self) -> float:
+        """Mean utilisation across nodes and time (per-node means averaged)."""
+        if not self._sums or not self._n_samples:
+            return 0.0
+        means = [total / self._n_samples for total in self._sums.values()]
+        return sum(means) / len(means)

@@ -37,8 +37,19 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.engine import STEP_MODES, make_engine
-from repro.cluster.events import EventKind, EventLog
-from repro.cluster.resource_monitor import ResourceMonitor
+from repro.cluster.events import (
+    EventBus,
+    EventKind,
+    EventLog,
+    ExecutorSpawned,
+    JobArrival,
+)
+from repro.cluster.faults import FaultController, FaultSpec, FaultSummary
+from repro.cluster.resource_monitor import (
+    ResourceMonitor,
+    StreamingUtilization,
+    UtilizationTraceRecorder,
+)
 from repro.cluster.yarn import ContainerRequest, ResourceManager
 from repro.spark.application import ApplicationState, SparkApplication
 from repro.spark.executor import Executor
@@ -113,6 +124,11 @@ class SimulationResult:
     utilization_times: list[float] = field(default_factory=list)
     utilization_trace: dict[int, list[float]] = field(default_factory=dict)
     unsubmitted_jobs: list[Job] = field(default_factory=list)
+    #: Streaming (O(nodes)-memory) utilisation mean, available even when
+    #: trace recording is disabled.
+    streaming_utilization_percent: float = 0.0
+    #: Fault/recovery telemetry; ``None`` for runs without a fault spec.
+    fault_summary: FaultSummary | None = None
 
     def finished_apps(self) -> list[SparkApplication]:
         """Applications that completed within the simulation horizon."""
@@ -131,9 +147,15 @@ class SimulationResult:
         return self.apps[name].turnaround_min()
 
     def mean_node_utilization(self) -> float:
-        """Average CPU utilisation (%) across nodes and time."""
+        """Average CPU utilisation (%) across nodes and time.
+
+        Computed from the recorded traces when available (the historical
+        reduction, kept bit-for-bit); when trace recording was disabled,
+        the streaming mean maintained by the event-bus subscriber is
+        returned instead.
+        """
         if not self.utilization_trace:
-            return 0.0
+            return self.streaming_utilization_percent
         traces = [np.mean(trace) for trace in self.utilization_trace.values() if trace]
         return float(np.mean(traces)) if traces else 0.0
 
@@ -235,11 +257,15 @@ class SchedulingContext:
                             assigned_gb=granted, cpu_demand=spec.cpu_load)
         node.add_executor(executor)
         app.add_executor(executor)
+        if app.start_time is None:
+            self._sim.events.record(self.now, EventKind.APP_STARTED,
+                                    app=app.name, node_id=node_id)
         app.mark_started(self.now)
-        self._sim.events.record(self.now, EventKind.EXECUTOR_SPAWNED,
-                                app=app.name, node_id=node_id,
-                                detail=f"budget={memory_budget_gb:.1f}GB "
-                                       f"data={granted:.1f}GB")
+        self._sim.events.publish(ExecutorSpawned(
+            time=self.now, app=app.name, node_id=node_id,
+            budget_gb=memory_budget_gb, data_gb=granted,
+            detail=f"budget={memory_budget_gb:.1f}GB "
+                   f"data={granted:.1f}GB"))
         return executor
 
 
@@ -253,7 +279,8 @@ class ClusterSimulator:
                  record_utilization: bool = True,
                  seed: int | None = 0,
                  step_mode: str = "event",
-                 rescan_min: float | None = None) -> None:
+                 rescan_min: float | None = None,
+                 faults: FaultSpec | None = None) -> None:
         if time_step_min <= 0:
             raise ValueError("time_step_min must be positive")
         if max_time_min <= 0:
@@ -267,12 +294,19 @@ class ClusterSimulator:
         self.scheduler = scheduler
         self.time_step_min = time_step_min
         self.interference = interference or InterferenceModel()
-        self.monitor = ResourceMonitor(window_min=monitor_window_min)
         self.resource_manager = ResourceManager(cluster=cluster)
         self.max_time_min = max_time_min
         self.record_utilization = record_utilization
+        self.faults = faults
         self.rng = np.random.default_rng(seed)
-        self.events = EventLog()
+        # The event bus is the kernel's spine: engines publish, and every
+        # metrics consumer — the resource monitor, the utilisation trace
+        # recorder, streaming statistics, fault telemetry — subscribes.
+        self.events = EventBus()
+        self.monitor = ResourceMonitor(window_min=monitor_window_min).attach(
+            self.events)
+        self.engine = None
+        self.fault_controller: FaultController | None = None
         self.apps: dict[str, SparkApplication] = {}
         self.specs: dict[str, BenchmarkSpec] = {}
         self.ready_time: dict[str, float] = {}
@@ -318,8 +352,9 @@ class ClusterSimulator:
         self.apps[name] = app
         self.specs[name] = spec
         self.submission_order.append(app)
-        self.events.record(now, EventKind.APP_SUBMITTED, app=name,
-                           detail=f"input={job.input_gb:.1f}GB")
+        self.events.publish(JobArrival(time=now, app=name,
+                                       input_gb=job.input_gb,
+                                       detail=f"input={job.input_gb:.1f}GB"))
         delay = 0.0
         if hasattr(self.scheduler, "on_submit"):
             delay = float(self.scheduler.on_submit(context, app) or 0.0)
@@ -337,6 +372,25 @@ class ClusterSimulator:
         return self.pending_jobs[0].submit_time_min
 
     # ------------------------------------------------------------------
+    # Dynamic cluster events
+    # ------------------------------------------------------------------
+    def apply_faults(self, context: "SchedulingContext", now: float) -> None:
+        """Apply every due dynamic-cluster event (both engines call this).
+
+        Runs at the top of each scheduling epoch, right after job
+        arrivals — so a fault becomes visible to the scheduler at the
+        first grid step at or after its fire time, under either engine.
+        """
+        if self.fault_controller is not None:
+            self.fault_controller.apply_due(context, now)
+
+    def next_fault_min(self) -> float:
+        """Fire time of the earliest pending fault event (inf when none)."""
+        if self.fault_controller is None:
+            return float("inf")
+        return self.fault_controller.next_time()
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def run(self, jobs: list[Job]) -> SimulationResult:
@@ -349,10 +403,21 @@ class ClusterSimulator:
         """
         if not jobs:
             raise ValueError("cannot simulate an empty job mix")
-        self._utilization: dict[int, list[float]] = {
-            node.node_id: [] for node in self.cluster.nodes
-        }
-        self._utilization_times: list[float] = []
+        # Metrics are event-bus subscribers: the full trace recorder is
+        # opt-in (Figure 7 genuinely needs the matrix), the streaming
+        # O(nodes) statistics always run.
+        recorder: UtilizationTraceRecorder | None = None
+        if self.record_utilization:
+            recorder = UtilizationTraceRecorder().attach(self.events)
+            for node in self.cluster.nodes:
+                recorder.ensure_node(node.node_id)
+        streaming = StreamingUtilization().attach(self.events)
+        # Realize the fault timeline up front with the simulator's seeded
+        # generator: both engines replay the identical realization, and
+        # no-fault runs draw nothing at all.
+        if self.faults is not None:
+            self.fault_controller = FaultController(
+                self, self.faults.realize(self.rng))
         # Stable sort: simultaneous arrivals keep their mix order, so a
         # batch mix is submitted exactly as the seed submitted it.
         self.pending_jobs = sorted(jobs, key=lambda job: job.submit_time_min)
@@ -361,19 +426,37 @@ class ClusterSimulator:
         engine_kwargs = {}
         if self.step_mode == "event" and self.rescan_min is not None:
             engine_kwargs["rescan_min"] = self.rescan_min
-        engine = make_engine(self.step_mode, self, **engine_kwargs)
-        now = engine.run(context)
+        self.engine = make_engine(self.step_mode, self, **engine_kwargs)
+        try:
+            now = self.engine.run(context)
+        finally:
+            # Detach this run's subscribers so a reused simulator does
+            # not keep feeding stale recorders (and their O(steps)
+            # traces) on a subsequent run.
+            if recorder is not None:
+                self.events.unsubscribe(recorder._on_sample)
+            self.events.unsubscribe(streaming._on_sample)
+            if self.fault_controller is not None:
+                self.events.unsubscribe(self.fault_controller.stats.on_event)
+            lost_hook = getattr(self.engine, "_on_executor_lost", None)
+            if lost_hook is not None:
+                self.events.unsubscribe(lost_hook)
 
         makespan = max(
             (app.finish_time for app in self.submission_order
              if app.finish_time is not None),
             default=now,
         )
+        fault_summary = None
+        if self.fault_controller is not None:
+            fault_summary = self.fault_controller.finalize(float(makespan))
         return SimulationResult(
             apps=dict(self.apps),
             events=self.events,
             makespan_min=float(makespan),
-            utilization_times=self._utilization_times,
-            utilization_trace=self._utilization if self.record_utilization else {},
+            utilization_times=recorder.times if recorder else [],
+            utilization_trace=recorder.trace if recorder else {},
             unsubmitted_jobs=list(self.pending_jobs),
+            streaming_utilization_percent=streaming.mean_percent(),
+            fault_summary=fault_summary,
         )

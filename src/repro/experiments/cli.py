@@ -42,6 +42,7 @@ from repro.api import (
     fold_cells,
 )
 from repro.cluster.engine import STEP_MODES
+from repro.cluster.faults import FAULT_PROFILES, load_fault_spec
 from repro.experiments import (
     fig3_memory_curves,
     fig4_pca,
@@ -164,10 +165,14 @@ def format_scenario_table(spec, results) -> str:
 
     Alongside the headline aggregates, the across-mix dispersion columns
     (STP standard deviation, ANTT-reduction range) show how stable each
-    scheme is over the drawn mixes.
+    scheme is over the drawn mixes.  When the scenario declares dynamic
+    cluster events, a second block reports the fault telemetry per
+    scheme: cluster availability, jobs disrupted, work lost and the
+    estimated re-run time.
     """
     lines = [f"scenario {spec.name}: topology={spec.topology} "
-             f"arrival={spec.arrival.kind}"]
+             f"arrival={spec.arrival.kind}"
+             + (" faults=on" if spec.faults is not None else "")]
     if spec.description:
         lines.append(f"  {spec.description}")
     lines.append(f"{'scheme':18s} {'STP':>7s} {'±std':>6s} "
@@ -182,6 +187,21 @@ def format_scenario_table(spec, results) -> str:
                      f"{antt_range:>17s} "
                      f"{row.makespan_mean_min:14.1f} "
                      f"{row.utilization_mean_percent:7.1f}")
+    if any(row.faulty for row in results):
+        lines.append("fault telemetry (means across mixes):")
+        lines.append(f"{'scheme':18s} {'avail.%':>8s} {'failures':>9s} "
+                     f"{'preempt.':>9s} {'disrupted':>10s} "
+                     f"{'lost(GB)':>9s} {'rerun(min)':>11s}")
+        for row in results:
+            if not row.faulty:
+                continue
+            lines.append(f"{row.scheme:18s} "
+                         f"{row.availability_mean_percent:8.2f} "
+                         f"{row.node_failures_mean:9.1f} "
+                         f"{row.preemptions_mean:9.1f} "
+                         f"{row.jobs_disrupted_mean:10.1f} "
+                         f"{row.work_lost_gb_mean:9.1f} "
+                         f"{row.rerun_time_mean_min:11.1f}")
     return "\n".join(lines)
 
 
@@ -195,6 +215,18 @@ def _run_scenario_mode(args) -> int:
         print(f"cannot load scenario {args.scenario!r}: {error}",
               file=sys.stderr)
         return 2
+    if args.faults is not None and args.faults != "spec":
+        # Overlay (or strip, with "none") a fault profile onto the spec;
+        # a bare --faults keeps the scenario's own declared dynamics.
+        import dataclasses
+
+        try:
+            fault_spec = load_fault_spec(args.faults)
+        except (KeyError, ValueError, TypeError, OSError) as error:
+            print(f"cannot load fault spec {args.faults!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        spec = dataclasses.replace(spec, faults=fault_spec)
     schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
     try:
         plan = ExperimentPlan(schemes=schemes, scenarios=(spec,),
@@ -245,6 +277,15 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="CSV",
                         help="comma-separated schemes for --scenario "
                              f"(default: {','.join(DEFAULT_SCENARIO_SCHEMES)})")
+    parser.add_argument("--faults", nargs="?", const="spec",
+                        metavar="PROFILE|SPEC.json|none",
+                        help="in --scenario mode: bare --faults runs the "
+                             "scenario's own declared dynamics (the "
+                             "default); a value overlays a registered "
+                             "fault profile "
+                             f"({', '.join(FAULT_PROFILES)}) or a "
+                             "FaultSpec JSON document; 'none' strips the "
+                             "scenario's faults")
     parser.add_argument("--n-mixes", type=int, default=1, metavar="K",
                         help="random mixes per scenario in --scenario mode "
                              "(default: 1)")
@@ -276,6 +317,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--workers must be at least 1")
     if args.n_mixes < 1:
         parser.error("--n-mixes must be at least 1")
+    if args.faults is not None and not args.scenario:
+        parser.error("--faults only applies to --scenario mode")
 
     if args.list_scenarios:
         for name in scenario_names():

@@ -15,8 +15,8 @@ import numpy as np
 from repro.cluster.cluster import paper_cluster
 from repro.cluster.simulator import ClusterSimulator
 from repro.api import SchedulerSuite
-from repro.metrics.throughput import evaluate_schedule
-from repro.metrics.utilization import utilization_matrix
+from repro.metrics.throughput import StreamingScheduleMetrics
+from repro.metrics.utilization import StreamingUtilizationHeatmap
 from repro.workloads.mixes import make_table4_jobs
 
 __all__ = ["UtilizationResult", "run", "format_table"]
@@ -42,17 +42,27 @@ def run(suite: SchedulerSuite | None = None, schemes=SCHEMES,
         n_bins: int = 48, seed: int = 11,
         time_step_min: float = 0.5,
         engine: str = "event") -> list[UtilizationResult]:
-    """Schedule the Table 4 mix under each scheme and collect utilisation."""
+    """Schedule the Table 4 mix under each scheme and collect utilisation.
+
+    Both the headline metrics and the heat map are accumulated by
+    streaming event-bus subscribers while the simulation runs — no
+    post-hoc trace matrices; the full per-step traces are not even
+    recorded (``record_utilization=False``).
+    """
     suite = suite or SchedulerSuite()
     jobs = make_table4_jobs()
     results = []
     for scheme in schemes:
         simulator = ClusterSimulator(paper_cluster(), suite.factory(scheme)(),
                                      time_step_min=time_step_min, seed=seed,
-                                     step_mode=engine)
+                                     step_mode=engine,
+                                     record_utilization=False)
+        metrics = StreamingScheduleMetrics(jobs).attach(simulator.events)
+        heatmap = StreamingUtilizationHeatmap(n_bins=n_bins).attach(
+            simulator.events)
         sim_result = simulator.run(jobs)
-        evaluation = evaluate_schedule(sim_result, jobs)
-        times, matrix = utilization_matrix(sim_result, n_bins=n_bins)
+        evaluation = metrics.evaluate(sim_result)
+        times, matrix = heatmap.matrix()
         results.append(UtilizationResult(
             scheme=scheme,
             stp=evaluation.stp,

@@ -1,20 +1,30 @@
 """Compatibility shim — the suite disk cache moved to :mod:`repro.api.cache`.
 
-Import :func:`load_or_train_suite` and friends from :mod:`repro.api`
-instead; a :class:`repro.api.Session` consults the cache automatically,
-so most callers no longer need these functions directly.
+.. deprecated::
+    Import :func:`load_or_train_suite` and friends from :mod:`repro.api`
+    instead; a :class:`repro.api.Session` consults the cache
+    automatically, so most callers no longer need these functions
+    directly.  Importing this module emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from repro.api.cache import (
+import warnings
+
+warnings.warn(
+    "repro.experiments.suite_cache is deprecated; import the suite cache "
+    "helpers from repro.api (a repro.api.Session consults the cache "
+    "automatically)",
+    DeprecationWarning, stacklevel=2)
+
+from repro.api.cache import (  # noqa: E402
     CACHE_VERSION,
     default_cache_dir,
     load_or_train_suite,
     suite_cache_path,
     suite_fingerprint,
 )
-from repro.api.suite import SchedulerSuite
+from repro.api.suite import SchedulerSuite  # noqa: E402
 
 __all__ = ["CACHE_VERSION", "default_cache_dir", "suite_fingerprint",
            "suite_cache_path", "load_or_train_suite", "SchedulerSuite"]

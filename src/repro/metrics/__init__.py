@@ -17,6 +17,7 @@ distributions of Figures 14 and 15.
 
 from repro.metrics.throughput import (
     ScheduleEvaluation,
+    StreamingScheduleMetrics,
     antt,
     antt_reduction_percent,
     baseline_turnarounds_min,
@@ -24,17 +25,25 @@ from repro.metrics.throughput import (
     isolated_reference_min,
     system_throughput,
 )
-from repro.metrics.utilization import downsample_trace, utilization_matrix
+from repro.metrics.utilization import (
+    StreamingUtilization,
+    StreamingUtilizationHeatmap,
+    downsample_trace,
+    utilization_matrix,
+)
 from repro.metrics.slowdown import parsec_colocation_slowdown_percent, slowdown_percent
 
 __all__ = [
     "ScheduleEvaluation",
+    "StreamingScheduleMetrics",
     "antt",
     "antt_reduction_percent",
     "baseline_turnarounds_min",
     "evaluate_schedule",
     "isolated_reference_min",
     "system_throughput",
+    "StreamingUtilization",
+    "StreamingUtilizationHeatmap",
     "downsample_trace",
     "utilization_matrix",
     "slowdown_percent",

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster.events import EventKind
 from repro.cluster.simulator import SimulationResult
 from repro.spark.driver import DynamicAllocationPolicy
 from repro.workloads.mixes import Job
@@ -21,12 +22,14 @@ from repro.workloads.suites import benchmark_by_name
 __all__ = [
     "isolated_reference_min",
     "baseline_turnarounds_min",
+    "instance_names",
     "matched_apps",
     "system_throughput",
     "antt",
     "antt_reduction_percent",
     "ScheduleEvaluation",
     "evaluate_schedule",
+    "StreamingScheduleMetrics",
 ]
 
 
@@ -62,23 +65,35 @@ def baseline_turnarounds_min(jobs: list[Job],
     return turnarounds
 
 
+def instance_names(jobs: list[Job]) -> list[str]:
+    """Application instance names of a mix, in submission order.
+
+    Mirrors the simulator's incremental naming
+    (``ClusterSimulator._submit_job``): a benchmark's second occurrence
+    in a mix is ``"<benchmark>#1"``, and so on.  Submission order is the
+    mix order (the simulator's arrival sort is stable), so the upfront
+    and incremental spellings always agree.
+    """
+    counts: dict[str, int] = {}
+    names = []
+    for job in jobs:
+        occurrence = counts.get(job.benchmark, 0)
+        counts[job.benchmark] = occurrence + 1
+        names.append(f"{job.benchmark}#{occurrence}" if occurrence
+                     else job.benchmark)
+    return names
+
+
 def matched_apps(result: SimulationResult, jobs: list[Job],
                  policy: DynamicAllocationPolicy | None = None):
     """Pair each job with its application and isolated reference time.
 
     Returns ``(job, app, reference_min)`` triples in submission order,
-    resolving the simulator's instance-naming convention (a benchmark's
-    second occurrence in a mix is ``"<benchmark>#1"``, and so on).
+    resolving the simulator's instance-naming convention via
+    :func:`instance_names`.
     """
-    matched = []
-    counts: dict[str, int] = {}
-    for job in jobs:
-        occurrence = counts.get(job.benchmark, 0)
-        counts[job.benchmark] = occurrence + 1
-        name = f"{job.benchmark}#{occurrence}" if occurrence else job.benchmark
-        matched.append((job, result.apps[name],
-                        isolated_reference_min(job, policy)))
-    return matched
+    return [(job, result.apps[name], isolated_reference_min(job, policy))
+            for job, name in zip(jobs, instance_names(jobs))]
 
 
 def system_throughput(result: SimulationResult, jobs: list[Job],
@@ -149,3 +164,88 @@ def evaluate_schedule(result: SimulationResult, jobs: list[Job],
         mean_utilization_percent=result.mean_node_utilization(),
         all_finished=result.all_finished(),
     )
+
+
+class StreamingScheduleMetrics:
+    """Streaming STP/ANTT: an event-bus subscriber instead of a post-hoc pass.
+
+    Attach it to a simulator's bus *before* the run; it consumes the
+    ``APP_FINISHED`` events both engines publish and keeps one finish
+    time per job — O(jobs) state, no result traversal.  The final
+    reductions run in submission order over exactly the same floats as
+    the post-hoc helpers above, so :meth:`evaluate` is bit-for-bit
+    identical to :func:`evaluate_schedule` on the same run.
+
+    Parameters
+    ----------
+    jobs:
+        The submitted mix, in submission order (fixes the per-job
+        isolated references and the instance-name mapping up front).
+    policy:
+        Allocation policy of the isolated reference; this is the
+        *nominal* platform yardstick, deliberately untouched by dynamic
+        cluster events mid-run.
+    """
+
+    def __init__(self, jobs: list[Job],
+                 policy: DynamicAllocationPolicy | None = None) -> None:
+        if not jobs:
+            raise ValueError("streaming metrics need at least one job")
+        self._jobs = list(jobs)
+        self._policy = policy
+        self._names = instance_names(self._jobs)
+        self._references = [isolated_reference_min(job, policy)
+                            for job in self._jobs]
+        self._finish: dict[str, float] = {}
+
+    def attach(self, bus) -> "StreamingScheduleMetrics":
+        """Subscribe to the ``APP_FINISHED`` events on a bus."""
+        bus.subscribe(self._on_finish, kinds=(EventKind.APP_FINISHED,))
+        return self
+
+    def _on_finish(self, event) -> None:
+        self._finish[event.app] = event.time
+
+    # ------------------------------------------------------------------
+    # Reductions (submission order, matching the post-hoc helpers)
+    # ------------------------------------------------------------------
+    @property
+    def finished_count(self) -> int:
+        """Number of jobs whose finish event has streamed past."""
+        return len(self._finish)
+
+    def _turnarounds(self) -> list[float]:
+        missing = [name for name in self._names if name not in self._finish]
+        if missing:
+            raise RuntimeError(f"jobs not finished (or bus not attached "
+                               f"before the run): {missing}")
+        return [self._finish[name] - job.submit_time_min
+                for name, job in zip(self._names, self._jobs)]
+
+    def stp(self) -> float:
+        """System throughput (Eq. 1) from the streamed finish times."""
+        return float(sum(reference / turnaround
+                         for reference, turnaround
+                         in zip(self._references, self._turnarounds())))
+
+    def antt(self) -> float:
+        """ANTT (Eq. 2) from the streamed finish times."""
+        return float(np.mean([turnaround / reference
+                              for reference, turnaround
+                              in zip(self._references, self._turnarounds())]))
+
+    def antt_reduction_percent(self) -> float:
+        """Percentage ANTT reduction over the isolated baseline."""
+        baseline = baseline_antt(self._jobs, self._policy)
+        return float(100.0 * (baseline - self.antt()) / baseline)
+
+    def evaluate(self, result: SimulationResult) -> ScheduleEvaluation:
+        """The full headline evaluation for a completed run."""
+        return ScheduleEvaluation(
+            stp=self.stp(),
+            antt=self.antt(),
+            antt_reduction_percent=self.antt_reduction_percent(),
+            makespan_min=result.makespan_min,
+            mean_utilization_percent=result.mean_node_utilization(),
+            all_finished=result.all_finished(),
+        )

@@ -1,27 +1,32 @@
-"""Declarative scenario subsystem: workload × arrival process × topology.
+"""Declarative scenario subsystem: workload × arrival × topology × faults.
 
-A *scenario* bundles the three policy choices every experiment makes —
-what jobs to run, when they arrive, and on which cluster — into one
-declarative :class:`~repro.scenarios.spec.ScenarioSpec` that the mechanism
-layers (mix generation, arrival stamping, simulator, experiment runner,
-CLI) consume unchanged.  The seed repository hard-wired one combination:
-Table-3 batches, all at t=0, on the paper's homogeneous 40-node platform.
-Those are now just the ``L1``..``L10`` entries of a registry that equally
-names open-arrival, bursty, diurnal and heterogeneous-fleet scenarios —
-and any spec can be written to or loaded from a small JSON document, so
+A *scenario* bundles the policy choices every experiment makes — what
+jobs to run, when they arrive, on which cluster, and how that cluster
+behaves over time — into one declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` that the mechanism layers
+(mix generation, arrival stamping, simulator, experiment runner, CLI)
+consume unchanged.  The seed repository hard-wired one combination:
+Table-3 batches, all at t=0, on the paper's static homogeneous 40-node
+platform.  Those are now just the ``L1``..``L10`` entries of a registry
+that equally names open-arrival, bursty, diurnal, heterogeneous-fleet and
+dynamic-cluster scenarios (``churn20``, ``flaky_nodes``, ``preemptible``)
+— and any spec can be written to or loaded from a small JSON document, so
 new scenarios require no code changes at all.
 
 Entry points
 ------------
-* :class:`ScenarioSpec` — the declarative bundle (JSON round-trippable);
+* :class:`ScenarioSpec` — the declarative bundle (JSON round-trippable),
+  including an optional :class:`~repro.cluster.faults.FaultSpec`;
 * :func:`scenario` / :func:`register_scenario` / :func:`scenario_names` —
   the named registry (``L1``..``L10``, ``table4``, ``poisson_hetero_demo``,
-  ``burst_absorption``, ...);
+  ``churn20``, ...);
 * :func:`load_scenario` — resolve a registry name *or* a ``.json`` path;
-* ``python -m repro.experiments --scenario <name|spec.json>`` — run one
-  scenario across scheduling schemes from the command line.
+* ``python -m repro.experiments --scenario <name|spec.json> [--faults
+  <profile|spec.json|none>]`` — run one scenario across scheduling
+  schemes from the command line.
 """
 
+from repro.cluster.faults import FaultEvent, FaultSpec
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.registry import (
     SCENARIO_REGISTRY,
@@ -33,6 +38,8 @@ from repro.scenarios.registry import (
 
 __all__ = [
     "ScenarioSpec",
+    "FaultSpec",
+    "FaultEvent",
     "SCENARIO_REGISTRY",
     "scenario",
     "scenario_names",

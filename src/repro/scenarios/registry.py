@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.cluster.faults import FaultEvent, FaultSpec
 from repro.scenarios.spec import ScenarioSpec
 from repro.workloads.arrivals import ArrivalSpec
 from repro.workloads.mixes import SCENARIOS, TABLE4_MIX
@@ -85,6 +86,49 @@ SCENARIO_REGISTRY: dict[str, ScenarioSpec] = {
         topology="bigmem8",
         description="An L5-sized closed batch on 8 large 256 GB machines — "
                     "few slots, deep co-location",
+    ),
+    # ------------------------------------------------------------------
+    # Dynamic-cluster scenarios: the static-platform assumption dropped.
+    # ------------------------------------------------------------------
+    "churn20": ScenarioSpec(
+        name="churn20",
+        n_apps=10,
+        arrival=ArrivalSpec(kind="poisson", rate_per_min=0.05),
+        faults=FaultSpec(
+            timeline=(
+                FaultEvent(time_min=45.0, action="node_down",
+                           duration_min=120.0, draw=0.15),
+                FaultEvent(time_min=60.0, action="node_down",
+                           duration_min=120.0, draw=0.65),
+                FaultEvent(time_min=90.0, action="node_join"),
+                FaultEvent(time_min=150.0, action="node_join"),
+            ),
+            node_failure_rate_per_hour=2.0, node_recovery_min=45.0,
+            horizon_min=720.0),
+        description="Open arrivals on the paper's platform with ~20% of "
+                    "the fleet churning: scripted outages and autoscale "
+                    "joins plus stochastic failure/recovery",
+    ),
+    "flaky_nodes": ScenarioSpec(
+        name="flaky_nodes",
+        n_apps=8,
+        faults=FaultSpec(node_failure_rate_per_hour=6.0,
+                         node_recovery_min=10.0,
+                         straggler_rate_per_hour=2.0,
+                         straggler_slowdown=0.4,
+                         straggler_duration_min=30.0,
+                         horizon_min=720.0),
+        description="Closed batch on nodes that flap (fail and recover "
+                    "within minutes) and intermittently straggle at 40% "
+                    "speed",
+    ),
+    "preemptible": ScenarioSpec(
+        name="preemptible",
+        n_apps=8,
+        faults=FaultSpec(preemption_rate_per_hour=10.0, horizon_min=720.0),
+        description="Closed batch on spot-like capacity: executors are "
+                    "preempted ~10 times per hour and their work is "
+                    "redistributed",
     ),
 }
 

@@ -28,6 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultSpec
 from repro.cluster.topologies import build_topology, topology_specs
 from repro.workloads.arrivals import ArrivalSpec
 from repro.workloads.mixes import Job, make_random_mix
@@ -53,6 +54,11 @@ class ScenarioSpec:
         behaviour).
     topology:
         Named cluster topology from :mod:`repro.cluster.topologies`.
+    faults:
+        Dynamic-cluster behaviour — node failures/recoveries, autoscale
+        joins, executor preemption, stragglers — as a declarative
+        :class:`~repro.cluster.faults.FaultSpec` (default: a static
+        cluster, the seed behaviour).
     max_time_min:
         Simulation horizon handed to the simulator.
     description:
@@ -64,6 +70,7 @@ class ScenarioSpec:
     jobs: tuple[tuple[str, float], ...] | None = None
     arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
     topology: str = "paper40"
+    faults: FaultSpec | None = None
     max_time_min: float = 50_000.0
     description: str = ""
 
@@ -131,6 +138,8 @@ class ScenarioSpec:
             payload["jobs"] = [[name, gb] for name, gb in self.jobs]
         payload["arrival"] = self.arrival.to_dict()
         payload["topology"] = self.topology
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_dict()
         if self.max_time_min != 50_000.0:
             payload["max_time_min"] = self.max_time_min
         return payload
@@ -139,7 +148,7 @@ class ScenarioSpec:
     def from_dict(cls, payload: dict) -> "ScenarioSpec":
         """Build a spec from its dict form (unknown keys rejected)."""
         known = {"name", "description", "n_apps", "jobs", "arrival",
-                 "topology", "max_time_min"}
+                 "topology", "faults", "max_time_min"}
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
@@ -149,6 +158,8 @@ class ScenarioSpec:
                                    for name, gb in kwargs["jobs"])
         if "arrival" in kwargs:
             kwargs["arrival"] = ArrivalSpec.from_dict(kwargs["arrival"])
+        if kwargs.get("faults") is not None:
+            kwargs["faults"] = FaultSpec.from_dict(kwargs["faults"])
         return cls(**kwargs)
 
     def to_json(self, path: str | Path) -> None:

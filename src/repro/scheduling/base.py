@@ -68,6 +68,24 @@ class Scheduler(ABC):
         """
         return math.inf
 
+    def on_cluster_change(self, ctx: SchedulingContext, event) -> None:
+        """Hook invoked when the live cluster topology or health changes.
+
+        The fault controller calls this for every node-level dynamic
+        event — ``node_down``, ``node_up``, ``node_joined``, straggler
+        onset/recovery — so policies can shed assumptions derived from
+        the startup topology snapshot.  The default implementation
+        re-derives the Spark dynamic-allocation executor cap from the
+        *live* node count, which every built-in scheme stores as
+        ``allocation_policy``; plugins registered through
+        ``@register_scheme`` inherit the same behaviour and may extend
+        it (dropping scan caches, re-ranking nodes, ...).
+        """
+        policy = getattr(self, "allocation_policy", None)
+        if policy is not None and hasattr(policy, "with_cluster_size"):
+            self.allocation_policy = policy.with_cluster_size(
+                ctx.cluster.up_count())
+
     @staticmethod
     def charge_profiling(app: SparkApplication, cost: ProfilingCost) -> float:
         """Record a profiling cost on the application and return its delay."""

@@ -34,7 +34,9 @@ class IsolatedScheduler(Scheduler):
             return
         desired = self.allocation_policy.desired_executors(app.input_gb)
         active = len(app.active_executors)
-        for node in ctx.cluster.nodes:
+        # Scan only live nodes: after a failure the policy must not try
+        # to place executors on a machine that is no longer there.
+        for node in ctx.cluster.up_nodes():
             if active >= desired or app.unassigned_gb <= 1e-6:
                 break
             if node.active_executors():

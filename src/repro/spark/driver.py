@@ -53,3 +53,18 @@ class DynamicAllocationPolicy:
     def default_split_gb(self, input_gb: float) -> float:
         """Data given to each default executor for the given input size."""
         return input_gb / self.desired_executors(input_gb)
+
+    def with_cluster_size(self, n_nodes: int) -> "DynamicAllocationPolicy":
+        """A copy whose executor cap follows the *live* cluster size.
+
+        Schedulers call this from ``on_cluster_change`` so the cap is
+        re-derived whenever nodes join or leave, instead of being frozen
+        at the startup topology snapshot.  The cap never drops below
+        ``min_executors`` (a cluster momentarily down to zero live nodes
+        leaves the policy able to request at least one executor once
+        capacity returns).
+        """
+        from dataclasses import replace
+
+        return replace(self,
+                       max_executors=max(int(n_nodes), self.min_executors))

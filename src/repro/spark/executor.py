@@ -25,6 +25,7 @@ class ExecutorState(str, Enum):
     RUNNING = "running"
     FINISHED = "finished"
     FAILED_OOM = "failed_oom"
+    KILLED = "killed"
 
 
 @dataclass
@@ -118,12 +119,24 @@ class Executor:
         """
         if extra_gb < 0:
             raise ValueError("extra_gb cannot be negative")
-        if self.state is ExecutorState.FAILED_OOM:
+        if self.state in (ExecutorState.FAILED_OOM, ExecutorState.KILLED):
             raise RuntimeError("cannot assign data to a failed executor")
         self.assigned_gb += extra_gb
         if self.state is ExecutorState.FINISHED and self.remaining_gb > 1e-9:
             self.state = ExecutorState.RUNNING
         self._notify_node()
+
+    def interrupt(self) -> float:
+        """Kill the executor involuntarily (node failure or preemption).
+
+        Returns the amount of unprocessed data, which the fault
+        controller hands back to the application's unassigned pool so
+        the scheduler re-distributes it on the surviving capacity.
+        """
+        unprocessed = self.remaining_gb
+        self.state = ExecutorState.KILLED
+        self._notify_node()
+        return unprocessed
 
     def fail_out_of_memory(self) -> float:
         """Mark the executor as killed by an out-of-memory error.

@@ -69,6 +69,31 @@ class TestJsonRoundTrip:
             cells = list(session.stream(plan))
         assert cells_from_json(cells_to_json(cells)) == cells
 
+    def test_fault_telemetry_round_trips_through_cells_and_rows(self):
+        from repro.api import FaultSummary
+
+        summary = FaultSummary(node_failures=2, node_recoveries=1,
+                               preemptions=1, executors_lost=3,
+                               jobs_disrupted=2, disrupted_jobs=("a", "b"),
+                               work_lost_gb=7.25, rerun_time_min=3.5,
+                               availability_percent=96.875)
+        cells = [_cell(faults=summary), _cell(mix_index=1, faults=summary)]
+        assert cells_from_json(cells_to_json(cells)) == cells
+        [row] = fold_cells(cells)
+        assert row.faulty
+        assert row.availability_mean_percent == pytest.approx(96.875)
+        assert row.node_failures_mean == pytest.approx(2.0)
+        assert row.jobs_disrupted_mean == pytest.approx(2.0)
+        assert row.work_lost_gb_mean == pytest.approx(7.25)
+        assert results_from_json(results_to_json([row])) == [row]
+
+    def test_fault_free_cells_keep_the_legacy_json_shape(self):
+        cell = _cell()
+        assert "faults" not in cell.to_dict()
+        [row] = fold_cells([cell])
+        assert not row.faulty
+        assert "faulty" not in row.to_dict()
+
 
 class TestFoldCells:
     def test_dispersion_matches_numpy_on_the_raw_values(self):

@@ -27,7 +27,24 @@ class TestUtilization:
         assert bins.mean() == pytest.approx(trace.mean(), rel=0.02)
 
     def test_downsample_empty_trace(self):
-        assert np.all(downsample_trace([], 5) == 0.0)
+        bins = downsample_trace([], 5)
+        assert bins.shape == (5,)
+        assert np.all(bins == 0.0)
+
+    def test_downsample_single_sample(self):
+        bins = downsample_trace([42.0], 5)
+        assert bins.shape == (5,)
+        assert bins[0] == pytest.approx(42.0)
+        # The remaining bins hold no sample and report zero utilisation.
+        assert np.all(bins[1:] == 0.0)
+
+    def test_downsample_trace_shorter_than_bin_count(self):
+        trace = [10.0, 20.0, 30.0]
+        bins = downsample_trace(trace, 8)
+        assert bins.shape == (8,)
+        # Every sample lands in exactly one bin; the mass is preserved.
+        assert bins.sum() == pytest.approx(sum(trace))
+        assert np.all(bins[3:] == 0.0)
 
     def test_downsample_rejects_zero_bins(self):
         with pytest.raises(ValueError):
@@ -37,7 +54,8 @@ class TestUtilization:
         simulator = ClusterSimulator(Cluster.homogeneous(3),
                                      make_oracle_scheduler(), time_step_min=0.5)
         result = simulator.run([Job("HB.Sort", 20.0), Job("HB.Scan", 10.0)])
-        times, matrix = utilization_matrix(result, n_bins=10)
+        with pytest.warns(DeprecationWarning, match="utilization_matrix"):
+            times, matrix = utilization_matrix(result, n_bins=10)
         assert matrix.shape == (3, 10)
         assert len(times) == 10
         assert np.all(matrix >= 0.0)
@@ -48,8 +66,9 @@ class TestUtilization:
                                      make_oracle_scheduler(),
                                      record_utilization=False)
         result = simulator.run([Job("HB.Scan", 5.0)])
-        with pytest.raises(ValueError):
-            utilization_matrix(result)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                utilization_matrix(result)
 
     @given(st.lists(st.floats(0, 100), min_size=1, max_size=50),
            st.integers(1, 10))

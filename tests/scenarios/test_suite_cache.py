@@ -1,14 +1,33 @@
 """Tests for the trained-suite disk cache."""
 
+import importlib
 import pickle
+import warnings
 
-from repro.experiments import suite_cache
-from repro.experiments.suite_cache import (
-    CACHE_VERSION,
-    load_or_train_suite,
-    suite_cache_path,
-    suite_fingerprint,
-)
+import pytest
+
+with warnings.catch_warnings():
+    # The shim module warns on import by design; the warning itself is
+    # asserted in TestDeprecation below.
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro.experiments import suite_cache
+    from repro.experiments.suite_cache import (
+        CACHE_VERSION,
+        load_or_train_suite,
+        suite_cache_path,
+        suite_fingerprint,
+    )
+
+
+class TestDeprecation:
+    def test_importing_the_shim_warns(self):
+        with pytest.warns(DeprecationWarning, match="suite_cache is deprecated"):
+            importlib.reload(suite_cache)
+
+    def test_shim_still_re_exports_the_api_helpers(self):
+        from repro.api.cache import load_or_train_suite as canonical
+
+        assert suite_cache.load_or_train_suite is canonical
 
 
 class TestFingerprint:
