@@ -67,11 +67,24 @@ from repro.scheduling.registry import (
     validate_schemes,
 )
 
+def __getattr__(name: str):
+    # Lazy re-export: the scheduling environment's episode record lives
+    # in repro.env (which itself imports repro.api.results), so a
+    # top-level import here would be circular when repro.env loads first.
+    if name == "EpisodeResult":
+        from repro.env.rollout import EpisodeResult
+
+        return EpisodeResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     # plan
     "DEFAULT_SCENARIOS",
     "ExperimentPlan",
     "PlanError",
+    # scheduling environment (lazy re-export)
+    "EpisodeResult",
     # session + suite
     "Session",
     "SchedulerSuite",

@@ -276,6 +276,35 @@ class Session:
                           scenario_order=plan.scenario_names,
                           scheme_order=plan.schemes)
 
+    def rollout(self, scenario, policy="random", *, seed: int = 11,
+                engine: str = "event", reward: str = "stp_delta",
+                time_step_min: float = 0.5, max_steps: int | None = None):
+        """Run one scheduling-environment episode; returns an
+        :class:`~repro.env.EpisodeResult`.
+
+        ``policy`` is a policy name — ``"random"``, ``"greedy"``, or any
+        registered scheme name (run through a
+        :class:`~repro.env.PolicyAdapter` sharing this session's trained
+        artefacts and disk cache) — or a :class:`repro.env.Policy`
+        instance.  ``scenario`` resolves like everywhere else: registry
+        name, spec JSON path, or a
+        :class:`~repro.scenarios.spec.ScenarioSpec`.
+        """
+        from repro.env import Policy, make_policy
+        from repro.env import rollout as run_episode
+        from repro.scheduling.registry import is_registered
+
+        if isinstance(policy, str):
+            if is_registered(policy):
+                self.ensure_trained((policy,))
+            policy = make_policy(policy, suite=self._suite, seed=seed)
+        elif not isinstance(policy, Policy):
+            raise TypeError("policy must be a name or a repro.env.Policy, "
+                            f"not {type(policy).__name__}")
+        return run_episode(scenario, policy, seed=seed, engine=engine,
+                           reward=reward, time_step_min=time_step_min,
+                           max_steps=max_steps)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

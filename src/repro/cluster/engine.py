@@ -78,7 +78,34 @@ class _EngineBase:
     # The unified lifecycle loop
     # ------------------------------------------------------------------
     def run(self, context) -> float:
-        """Drive the simulation to completion; returns the final time."""
+        """Drive the simulation to completion; returns the final time.
+
+        The native path: at every wake-point the simulator's installed
+        scheduler is consulted.  :class:`repro.env.SchedulingEnv` consumes
+        :meth:`epochs` directly instead, substituting an external policy's
+        decision for the ``schedule()`` call — same lifecycle, different
+        decision-maker.
+        """
+        epochs = self.epochs(context)
+        while True:
+            try:
+                next(epochs)
+            except StopIteration as stop:
+                return stop.value
+            self.sim.scheduler.schedule(context)
+
+    def epochs(self, context):
+        """Generator over scheduling epochs: the resumable wake-point loop.
+
+        Yields the current simulated time right after the
+        ``SCHEDULER_WAKE`` event is published — i.e. at the exact point
+        the scheduler would be consulted.  The consumer makes its
+        placement decisions while the generator is suspended (through the
+        :class:`~repro.cluster.simulator.SchedulingContext`), then
+        resumes it to advance simulated time to the next epoch.  The
+        generator's return value (``StopIteration.value``) is the final
+        simulated time.
+        """
         sim = self.sim
         now = 0.0
         self._start(context)
@@ -88,7 +115,7 @@ class _EngineBase:
             sim.apply_faults(context, now)
             self.rerun_oom_data_in_isolation(context)
             sim.events.publish(SchedulerWake(time=now))
-            sim.scheduler.schedule(context)
+            yield now
             next_now = self._advance_epoch(context, now)
             if next_now is None:
                 # No executor running, nothing queued, nothing pending:

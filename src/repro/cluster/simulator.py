@@ -307,6 +307,10 @@ class ClusterSimulator:
             self.events)
         self.engine = None
         self.fault_controller: FaultController | None = None
+        # Per-run bus subscribers, created by start() and detached by
+        # detach_run_subscribers().
+        self._recorder: UtilizationTraceRecorder | None = None
+        self._streaming: StreamingUtilization | None = None
         self.apps: dict[str, SparkApplication] = {}
         self.specs: dict[str, BenchmarkSpec] = {}
         self.ready_time: dict[str, float] = {}
@@ -393,25 +397,26 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def run(self, jobs: list[Job]) -> SimulationResult:
-        """Simulate the given job mix to completion and return the result.
+    def start(self, jobs: list[Job]) -> "SchedulingContext":
+        """Prepare one run: subscribers, fault timeline, queue, engine.
 
-        Jobs with ``submit_time_min == 0`` (the default) are submitted
-        together before the first scheduling epoch, reproducing the seed's
-        closed-batch behaviour; later arrival times make jobs enter the
-        queue as simulated time reaches them (open-arrival scenarios).
+        Returns the :class:`SchedulingContext` through which placements
+        are made.  :meth:`run` calls this internally; the scheduling
+        environment (:mod:`repro.env`) calls it directly and then drives
+        the engine's epoch generator itself, pausing at every wake-point.
+        Each ``start``/``finish`` pair serves exactly one run.
         """
         if not jobs:
             raise ValueError("cannot simulate an empty job mix")
         # Metrics are event-bus subscribers: the full trace recorder is
         # opt-in (Figure 7 genuinely needs the matrix), the streaming
         # O(nodes) statistics always run.
-        recorder: UtilizationTraceRecorder | None = None
+        self._recorder = None
         if self.record_utilization:
-            recorder = UtilizationTraceRecorder().attach(self.events)
+            self._recorder = UtilizationTraceRecorder().attach(self.events)
             for node in self.cluster.nodes:
-                recorder.ensure_node(node.node_id)
-        streaming = StreamingUtilization().attach(self.events)
+                self._recorder.ensure_node(node.node_id)
+        self._streaming = StreamingUtilization().attach(self.events)
         # Realize the fault timeline up front with the simulator's seeded
         # generator: both engines replay the identical realization, and
         # no-fault runs draw nothing at all.
@@ -421,27 +426,31 @@ class ClusterSimulator:
         # Stable sort: simultaneous arrivals keep their mix order, so a
         # batch mix is submitted exactly as the seed submitted it.
         self.pending_jobs = sorted(jobs, key=lambda job: job.submit_time_min)
-        context = SchedulingContext(self)
 
         engine_kwargs = {}
         if self.step_mode == "event" and self.rescan_min is not None:
             engine_kwargs["rescan_min"] = self.rescan_min
         self.engine = make_engine(self.step_mode, self, **engine_kwargs)
-        try:
-            now = self.engine.run(context)
-        finally:
-            # Detach this run's subscribers so a reused simulator does
-            # not keep feeding stale recorders (and their O(steps)
-            # traces) on a subsequent run.
-            if recorder is not None:
-                self.events.unsubscribe(recorder._on_sample)
-            self.events.unsubscribe(streaming._on_sample)
-            if self.fault_controller is not None:
-                self.events.unsubscribe(self.fault_controller.stats.on_event)
-            lost_hook = getattr(self.engine, "_on_executor_lost", None)
-            if lost_hook is not None:
-                self.events.unsubscribe(lost_hook)
+        return SchedulingContext(self)
 
+    def detach_run_subscribers(self) -> None:
+        """Detach this run's bus subscribers (idempotent).
+
+        A reused simulator must not keep feeding stale recorders (and
+        their O(steps) traces) on a subsequent run.
+        """
+        if self._recorder is not None:
+            self.events.unsubscribe(self._recorder._on_sample)
+        if self._streaming is not None:
+            self.events.unsubscribe(self._streaming._on_sample)
+        if self.fault_controller is not None:
+            self.events.unsubscribe(self.fault_controller.stats.on_event)
+        lost_hook = getattr(self.engine, "_on_executor_lost", None)
+        if lost_hook is not None:
+            self.events.unsubscribe(lost_hook)
+
+    def finish(self, now: float) -> SimulationResult:
+        """Assemble the result of a run that ended at time ``now``."""
         makespan = max(
             (app.finish_time for app in self.submission_order
              if app.finish_time is not None),
@@ -450,6 +459,7 @@ class ClusterSimulator:
         fault_summary = None
         if self.fault_controller is not None:
             fault_summary = self.fault_controller.finalize(float(makespan))
+        recorder = self._recorder
         return SimulationResult(
             apps=dict(self.apps),
             events=self.events,
@@ -457,6 +467,21 @@ class ClusterSimulator:
             utilization_times=recorder.times if recorder else [],
             utilization_trace=recorder.trace if recorder else {},
             unsubmitted_jobs=list(self.pending_jobs),
-            streaming_utilization_percent=streaming.mean_percent(),
+            streaming_utilization_percent=self._streaming.mean_percent(),
             fault_summary=fault_summary,
         )
+
+    def run(self, jobs: list[Job]) -> SimulationResult:
+        """Simulate the given job mix to completion and return the result.
+
+        Jobs with ``submit_time_min == 0`` (the default) are submitted
+        together before the first scheduling epoch, reproducing the seed's
+        closed-batch behaviour; later arrival times make jobs enter the
+        queue as simulated time reaches them (open-arrival scenarios).
+        """
+        context = self.start(jobs)
+        try:
+            now = self.engine.run(context)
+        finally:
+            self.detach_run_subscribers()
+        return self.finish(now)

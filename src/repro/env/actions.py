@@ -1,0 +1,134 @@
+"""Structured scheduling actions and their validation against live capacity.
+
+An :class:`Action` is what a policy hands back to
+:meth:`repro.env.SchedulingEnv.step` at a wake-point.  Two forms exist:
+
+* **Structured** — a tuple of :class:`Placement` entries (possibly
+  empty: "do nothing this epoch").  The environment validates every
+  placement against the *live* cluster — unknown or unready
+  applications, down nodes, memory/CPU over-capacity — and raises
+  :class:`InvalidActionError` naming the offending placement, before any
+  part of a partially valid batch is applied.
+* **Native** — :meth:`Action.native` wraps a
+  :class:`~repro.scheduling.base.Scheduler`; the environment invokes its
+  ``schedule()`` against the live context, exactly as the engine's
+  native loop would.  This is how :class:`repro.env.PolicyAdapter`
+  re-runs registered schemes through the environment bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Placement", "Action", "InvalidActionError"]
+
+
+class InvalidActionError(ValueError):
+    """A placement failed validation against the live cluster state."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One executor spawn request: which app, where, and how big.
+
+    ``memory_gb`` is the heap reservation the scheduler-side accounting
+    will carry; ``data_gb`` how much of the application's unassigned
+    input the executor takes (clamped to what is left, like native
+    schedulers' grants).
+    """
+
+    app: str
+    node_id: int
+    memory_gb: float
+    data_gb: float
+
+    def __post_init__(self) -> None:
+        if not self.app:
+            raise ValueError("a placement needs an application name")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+        if self.data_gb <= 0:
+            raise ValueError("data_gb must be positive")
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict form."""
+        return {"app": self.app, "node_id": self.node_id,
+                "memory_gb": self.memory_gb, "data_gb": self.data_gb}
+
+
+@dataclass(frozen=True)
+class Action:
+    """A policy's decision for one scheduling epoch."""
+
+    placements: tuple[Placement, ...] = ()
+    #: Native-delegation form: a Scheduler whose ``schedule()`` makes the
+    #: epoch's placements directly (mutually exclusive with placements).
+    scheduler: object | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.scheduler is not None and self.placements:
+            raise ValueError("an action delegates to a scheduler or lists "
+                             "placements, not both")
+        if not isinstance(self.placements, tuple):
+            object.__setattr__(self, "placements", tuple(self.placements))
+
+    @classmethod
+    def noop(cls) -> "Action":
+        """The empty action: place nothing this epoch."""
+        return cls()
+
+    @classmethod
+    def native(cls, scheduler) -> "Action":
+        """Delegate this epoch's decision to a native scheduler object."""
+        if scheduler is None:
+            raise ValueError("native action needs a scheduler")
+        return cls(scheduler=scheduler)
+
+    @property
+    def is_native(self) -> bool:
+        """Whether this action delegates to a native scheduler."""
+        return self.scheduler is not None
+
+
+def validate_placement(sim, context, placement: Placement) -> None:
+    """Check one placement against the live simulation state.
+
+    Raises :class:`InvalidActionError` with a reason naming the
+    placement.  The checks mirror what constrains a native scheduler:
+    the application must exist, be out of its profiling window and still
+    have unassigned data; the node must exist, be up, and pass the
+    admission test (reservation-side memory fit + CPU cap) for the
+    application's demand.
+    """
+    app = sim.apps.get(placement.app)
+    if app is None:
+        raise InvalidActionError(
+            f"unknown application {placement.app!r} (submitted: "
+            f"{', '.join(sim.apps) or 'none'})")
+    if sim.ready_time[app.name] > context.now + 1e-9:
+        raise InvalidActionError(
+            f"application {app.name!r} is still profiling until "
+            f"t={sim.ready_time[app.name]:g}min")
+    if app.unassigned_gb <= 1e-6:
+        raise InvalidActionError(
+            f"application {app.name!r} has no unassigned data left")
+    try:
+        node = sim.cluster.node(placement.node_id)
+    except KeyError:
+        raise InvalidActionError(
+            f"unknown node id {placement.node_id}") from None
+    if not node.is_up:
+        raise InvalidActionError(
+            f"node {node.node_id} is down; placements on failed nodes "
+            "are rejected")
+    spec = sim.specs[app.name]
+    if placement.memory_gb > node.free_reserved_memory_gb + 1e-9:
+        raise InvalidActionError(
+            f"over-capacity: {placement.memory_gb:.1f}GB requested but "
+            f"node {node.node_id} has "
+            f"{node.free_reserved_memory_gb:.1f}GB unreserved")
+    if node.reserved_cpu_load + spec.cpu_load > 1.0 + 1e-9:
+        raise InvalidActionError(
+            f"over-capacity: node {node.node_id} CPU load "
+            f"{node.reserved_cpu_load:.2f} cannot absorb "
+            f"{app.name!r}'s demand {spec.cpu_load:.2f}")

@@ -35,6 +35,7 @@ import sys
 
 from repro.api import (
     ExperimentPlan,
+    HorizonTruncationError,
     PlanError,
     Session,
     UnknownSchemeError,
@@ -60,7 +61,6 @@ from repro.experiments import (
     headline,
     table5_classifiers,
 )
-from repro.experiments.common import HorizonTruncationError
 from repro.scenarios import load_scenario, scenario_names, SCENARIO_REGISTRY
 
 __all__ = ["main", "EXPERIMENTS", "DEFAULT_SCENARIO_SCHEMES"]
@@ -205,8 +205,12 @@ def format_scenario_table(spec, results) -> str:
     return "\n".join(lines)
 
 
-def _run_scenario_mode(args) -> int:
-    """Run one declarative scenario across scheduling schemes."""
+def _resolve_scenario_spec(args):
+    """Resolve ``--scenario`` (+ optional ``--faults`` overlay) to a spec.
+
+    Returns the spec, or ``None`` after printing the error — shared by
+    scenario mode and ``env-rollout``.
+    """
     try:
         # TypeError covers wrong-typed values in a user's spec JSON
         # (e.g. a string where a number belongs).
@@ -214,7 +218,7 @@ def _run_scenario_mode(args) -> int:
     except (KeyError, ValueError, TypeError, OSError) as error:
         print(f"cannot load scenario {args.scenario!r}: {error}",
               file=sys.stderr)
-        return 2
+        return None
     if args.faults is not None and args.faults != "spec":
         # Overlay (or strip, with "none") a fault profile onto the spec;
         # a bare --faults keeps the scenario's own declared dynamics.
@@ -225,8 +229,54 @@ def _run_scenario_mode(args) -> int:
         except (KeyError, ValueError, TypeError, OSError) as error:
             print(f"cannot load fault spec {args.faults!r}: {error}",
                   file=sys.stderr)
-            return 2
+            return None
         spec = dataclasses.replace(spec, faults=fault_spec)
+    return spec
+
+
+def _run_env_rollout(args) -> int:
+    """Run one scheduling-environment episode (``env-rollout`` mode)."""
+    from repro.scheduling.registry import UnknownSchemeError as UnknownPolicy
+
+    spec = _resolve_scenario_spec(args)
+    if spec is None:
+        return 2
+    with Session(use_cache=not args.no_cache) as session:
+        try:
+            episode = session.rollout(spec, policy=args.policy,
+                                      seed=args.seed, engine=args.engine,
+                                      reward=args.reward)
+        except UnknownPolicy as error:
+            print(f"cannot resolve policy {args.policy!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        except HorizonTruncationError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+    print(f"episode {episode.scenario} policy={episode.policy} "
+          f"seed={episode.seed} engine={episode.engine}: "
+          f"steps={episode.steps} STP={episode.stp:.2f} "
+          f"ANTT={episode.antt:.2f} makespan={episode.makespan_min:.1f}min "
+          f"total_reward[{episode.reward_kind}]={episode.total_reward:.3f}")
+    if episode.faults is not None:
+        print(f"  faults: {episode.faults.node_failures} node failure(s), "
+              f"{episode.faults.preemptions} preemption(s), "
+              f"{episode.faults.jobs_disrupted} job(s) disrupted, "
+              f"{episode.faults.work_lost_gb:.1f}GB lost, "
+              f"availability {episode.faults.availability_percent:.2f}%")
+    if args.episode_json:
+        episode.to_json(path=args.episode_json)
+        print(f"wrote episode result to {args.episode_json}")
+    else:
+        print(episode.to_json(), end="")
+    return 0
+
+
+def _run_scenario_mode(args) -> int:
+    """Run one declarative scenario across scheduling schemes."""
+    spec = _resolve_scenario_spec(args)
+    if spec is None:
+        return 2
     schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
     try:
         plan = ExperimentPlan(schemes=schemes, scenarios=(spec,),
@@ -263,7 +313,9 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's tables and figures, or run a "
                     "declarative scenario.")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment names (see --list), or 'all'")
+                        help="experiment names (see --list), 'all', or "
+                             "'env-rollout' to run a scheduling-environment "
+                             "episode on --scenario")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     parser.add_argument("--list-scenarios", action="store_true",
@@ -292,6 +344,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=11, metavar="N",
                         help="seed of the generator driving mix generation "
                              "and arrival processes (default: 11)")
+    parser.add_argument("--policy", default="random", metavar="NAME",
+                        help="env-rollout mode: the policy driving the "
+                             "episode — 'random', 'greedy', or any "
+                             "registered scheme name (default: random)")
+    parser.add_argument("--reward", default="stp_delta",
+                        choices=["stp_delta", "antt_delta"],
+                        help="env-rollout mode: per-step reward shape "
+                             "(default: stp_delta — the episode return "
+                             "equals the final STP)")
+    parser.add_argument("--episode-json", metavar="PATH",
+                        help="env-rollout mode: write the typed "
+                             "EpisodeResult JSON here instead of printing "
+                             "it to stdout")
     parser.add_argument("--stream", action="store_true",
                         help="in --scenario mode, print each grid cell as "
                              "it completes")
@@ -333,10 +398,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:24s} requires: {requires or '-'}")
         return 0
 
+    if args.experiments == ["env-rollout"]:
+        if not args.scenario:
+            parser.error("env-rollout requires --scenario")
+        return _run_env_rollout(args)
+
     if args.scenario:
         if args.experiments:
             parser.error("--scenario cannot be combined with experiment "
-                         "names; run them as separate invocations")
+                         "names; run them as separate invocations "
+                         "(or use the 'env-rollout' mode)")
         return _run_scenario_mode(args)
 
     if args.list or not args.experiments:

@@ -203,6 +203,19 @@ class StreamingScheduleMetrics:
         bus.subscribe(self._on_finish, kinds=(EventKind.APP_FINISHED,))
         return self
 
+    def per_job_references(self) -> tuple[tuple[str, float, float], ...]:
+        """``(instance name, submit time, isolated reference)`` per job.
+
+        In submission order — the fixed per-job yardsticks this tracker
+        was built with, shared with consumers (e.g. the scheduling
+        environment's reward stream) so they are computed exactly once.
+        """
+        return tuple(
+            (name, job.submit_time_min, reference)
+            for name, job, reference in zip(self._names, self._jobs,
+                                            self._references)
+        )
+
     def _on_finish(self, event) -> None:
         self._finish[event.app] = event.time
 

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+
+@pytest.fixture
+def deprecated_run_scenarios():
+    """The legacy ``run_scenarios`` shim, with its deprecation asserted.
+
+    The suite runs with the repro deprecation messages escalated to
+    errors (see ``filterwarnings`` in ``pyproject.toml``), so every use
+    of the shim must go through this wrapper: it *asserts* the
+    :class:`DeprecationWarning` instead of merely tolerating it, and it
+    keeps the call sites one-line.
+    """
+    from repro.experiments.common import run_scenarios
+
+    def call(*args, **kwargs):
+        with pytest.warns(DeprecationWarning, match="run_scenarios"):
+            return run_scenarios(*args, **kwargs)
+
+    return call

@@ -1,0 +1,86 @@
+"""Tests for the episode runner, baselines, and EpisodeResult round-trip."""
+
+import pytest
+
+from repro.api import Session
+from repro.env import (
+    EpisodeResult,
+    GreedyPolicy,
+    RandomPolicy,
+    make_policy,
+    rollout,
+)
+
+
+class TestBaselinePolicies:
+    def test_random_policy_completes_l1_and_reward_equals_stp(self):
+        episode = rollout("L1", RandomPolicy(), seed=11)
+        assert episode.policy == "random"
+        assert episode.steps > 0
+        assert episode.total_reward == pytest.approx(episode.stp)
+        assert len(episode.jobs) == 2
+        assert all(record.turnaround_min > 0 for record in episode.jobs)
+
+    def test_random_policy_is_seed_deterministic(self):
+        first = rollout("L1", RandomPolicy(), seed=11)
+        again = rollout("L1", RandomPolicy(), seed=11)
+        assert first == again
+
+    def test_random_policy_handles_churn20_faults(self):
+        episode = rollout("churn20", RandomPolicy(), seed=3)
+        assert episode.faults is not None
+        assert episode.faults.node_failures > 0
+        assert episode.stp > 0
+
+    def test_greedy_policy_is_deterministic_and_completes(self):
+        first = rollout("L1", GreedyPolicy(), seed=11)
+        again = rollout("L1", GreedyPolicy(), seed=11)
+        assert first == again
+        assert first.policy == "greedy"
+
+    def test_max_steps_guards_stalling_policies(self):
+        class Idler(RandomPolicy):
+            def act(self, observation):
+                from repro.env import Action
+
+                return Action.noop()
+
+        with pytest.raises(RuntimeError, match="max_steps"):
+            rollout("L1", Idler(), seed=11, max_steps=10)
+
+    def test_make_policy_resolves_names(self):
+        assert make_policy("random").name == "random"
+        assert make_policy("greedy").name == "greedy"
+        assert make_policy("oracle").name == "oracle"
+        from repro.scheduling.registry import UnknownSchemeError
+
+        with pytest.raises(UnknownSchemeError, match="warp"):
+            make_policy("warp")
+
+
+class TestEpisodeResultRoundTrip:
+    def test_json_round_trip_is_exact(self, tmp_path):
+        episode = rollout("churn20", RandomPolicy(), seed=3)
+        path = tmp_path / "episode.json"
+        episode.to_json(path=path)
+        assert EpisodeResult.from_json(path) == episode
+        assert EpisodeResult.from_json(episode.to_json()) == episode
+
+    def test_session_rollout_uses_session_artefacts(self):
+        with Session(use_cache=False) as session:
+            episode = session.rollout("L1", policy="random", seed=11)
+            assert episode.scenario == "L1"
+            # Baseline policies never require training.
+            assert session.suite.materialised() == frozenset()
+
+    def test_session_rollout_rejects_non_policies(self):
+        with Session(use_cache=False) as session:
+            with pytest.raises(TypeError, match="Policy"):
+                session.rollout("L1", policy=42)
+
+    def test_antt_delta_reward_round_trips(self):
+        episode = rollout("L1", GreedyPolicy(), seed=11,
+                          reward="antt_delta")
+        assert episode.reward_kind == "antt_delta"
+        assert episode.total_reward == pytest.approx(-episode.antt)
+        assert EpisodeResult.from_json(episode.to_json()) == episode

@@ -107,3 +107,67 @@ class TestScenarioMode:
     def test_invalid_n_mixes_rejected(self):
         with pytest.raises(SystemExit):
             cli.main(["--scenario", "L1", "--n-mixes", "0"])
+
+    def test_user_facing_scenario_run_is_warning_clean(self, capsys):
+        # The CLI's internal calls go through repro.api only — none of
+        # the deprecated shims — so a user-facing run must not emit a
+        # single DeprecationWarning.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert cli.main(["--scenario", "L1",
+                             "--schemes", "pairwise"]) == 0
+        assert "pairwise" in capsys.readouterr().out
+
+
+class TestEnvRollout:
+    def test_episode_runs_and_emits_json(self, tmp_path, capsys):
+        path = tmp_path / "episode.json"
+        assert cli.main(["env-rollout", "--scenario", "churn20",
+                         "--policy", "random", "--seed", "7",
+                         "--episode-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "episode churn20 policy=random" in out
+        assert "faults:" in out  # churn20 declares dynamics
+        from repro.env import EpisodeResult
+
+        episode = EpisodeResult.from_json(path)
+        assert episode.scenario == "churn20" and episode.seed == 7
+        assert episode.stp > 0 and episode.steps > 0
+
+    def test_episode_json_prints_to_stdout_by_default(self, capsys):
+        import json
+
+        assert cli.main(["env-rollout", "--scenario", "L1",
+                         "--policy", "greedy"]) == 0
+        out = capsys.readouterr().out
+        document = out[out.index("{"):]
+        payload = json.loads(document)
+        assert payload["policy"] == "greedy"
+        assert payload["reward_kind"] == "stp_delta"
+
+    def test_scheme_policies_resolve_through_the_registry(self, capsys):
+        assert cli.main(["env-rollout", "--scenario", "L1",
+                         "--policy", "pairwise",
+                         "--reward", "antt_delta"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=pairwise" in out and "antt_delta" in out
+
+    def test_unknown_policy_is_an_error(self, capsys):
+        assert cli.main(["env-rollout", "--scenario", "L1",
+                         "--policy", "warp_drive"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot resolve policy" in err and "random" in err
+
+    def test_env_rollout_requires_a_scenario(self):
+        with pytest.raises(SystemExit):
+            cli.main(["env-rollout"])
+
+    def test_env_rollout_run_is_warning_clean(self, capsys):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert cli.main(["env-rollout", "--scenario", "L1",
+                             "--policy", "random"]) == 0

@@ -1,8 +1,13 @@
-"""Tests for the multiprocess experiment grid runner."""
+"""Tests for the multiprocess experiment grid runner (legacy shim).
+
+Every call goes through the ``deprecated_run_scenarios`` fixture, which
+asserts the shim's :class:`DeprecationWarning` — the suite escalates the
+repro deprecation messages to errors, so an unwrapped call would fail.
+"""
 
 import pytest
 
-from repro.experiments.common import SchedulerSuite, run_scenarios
+from repro.experiments.common import SchedulerSuite
 
 
 @pytest.fixture(scope="module")
@@ -11,30 +16,37 @@ def suite():
 
 
 class TestParallelRunner:
-    def test_workers_must_be_positive(self, suite):
+    def test_workers_must_be_positive(self, suite, deprecated_run_scenarios):
         with pytest.raises(ValueError):
-            run_scenarios(("oracle",), scenarios=("L1",), n_mixes=1,
-                          suite=suite, workers=0)
+            deprecated_run_scenarios(("oracle",), scenarios=("L1",),
+                                     n_mixes=1, suite=suite, workers=0)
 
-    def test_parallel_grid_matches_sequential(self, suite):
+    def test_parallel_grid_matches_sequential(self, suite,
+                                              deprecated_run_scenarios):
         # "ours" depends on the suite's trained mixture of experts, so this
         # also pins that workers receive the caller's suite (models and
         # all), not a retrained default.
         kwargs = dict(scenarios=("L1",), n_mixes=2, suite=suite)
-        sequential = run_scenarios(("pairwise", "ours"), workers=1, **kwargs)
-        parallel = run_scenarios(("pairwise", "ours"), workers=2, **kwargs)
+        sequential = deprecated_run_scenarios(("pairwise", "ours"),
+                                              workers=1, **kwargs)
+        parallel = deprecated_run_scenarios(("pairwise", "ours"),
+                                            workers=2, **kwargs)
         assert parallel == sequential
 
-    def test_engines_produce_identical_grid_results(self, suite):
+    def test_engines_produce_identical_grid_results(self, suite,
+                                                    deprecated_run_scenarios):
         kwargs = dict(scenarios=("L1",), n_mixes=1, suite=suite)
-        fixed = run_scenarios(("pairwise",), engine="fixed", **kwargs)
-        event = run_scenarios(("pairwise",), engine="event", **kwargs)
+        fixed = deprecated_run_scenarios(("pairwise",), engine="fixed",
+                                         **kwargs)
+        event = deprecated_run_scenarios(("pairwise",), engine="event",
+                                         **kwargs)
         assert event == fixed
 
-    def test_row_order_is_scenario_major(self, suite):
-        results = run_scenarios(("pairwise", "oracle"),
-                                scenarios=("L1", "L2"), n_mixes=1,
-                                suite=suite)
+    def test_row_order_is_scenario_major(self, suite,
+                                         deprecated_run_scenarios):
+        results = deprecated_run_scenarios(("pairwise", "oracle"),
+                                           scenarios=("L1", "L2"), n_mixes=1,
+                                           suite=suite)
         assert [(r.scenario, r.scheme) for r in results] == [
             ("L1", "pairwise"), ("L1", "oracle"),
             ("L2", "pairwise"), ("L2", "oracle"),

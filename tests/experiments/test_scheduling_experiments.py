@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import fig6_overall, fig11_12_overhead, fig14_interference, headline
-from repro.experiments.common import SchedulerSuite, overall_geomean, run_scenarios
+from repro.experiments.common import SchedulerSuite, overall_geomean
 
 
 @pytest.fixture(scope="module")
@@ -16,16 +16,19 @@ class TestCommonRunner:
         with pytest.raises(KeyError):
             suite.factory("magic")
 
-    def test_run_scenarios_aggregates_per_scheme(self, suite):
-        results = run_scenarios(("pairwise", "oracle"), scenarios=("L1",),
-                                n_mixes=1, suite=suite)
+    def test_run_scenarios_aggregates_per_scheme(self, suite,
+                                                 deprecated_run_scenarios):
+        results = deprecated_run_scenarios(("pairwise", "oracle"),
+                                           scenarios=("L1",), n_mixes=1,
+                                           suite=suite)
         assert {r.scheme for r in results} == {"pairwise", "oracle"}
         assert all(r.stp_geomean > 0 for r in results)
         assert all(r.stp_min <= r.stp_geomean <= r.stp_max for r in results)
 
-    def test_overall_geomean_requires_known_scheme(self, suite):
-        results = run_scenarios(("oracle",), scenarios=("L1",), n_mixes=1,
-                                suite=suite)
+    def test_overall_geomean_requires_known_scheme(self, suite,
+                                                   deprecated_run_scenarios):
+        results = deprecated_run_scenarios(("oracle",), scenarios=("L1",),
+                                           n_mixes=1, suite=suite)
         with pytest.raises(KeyError):
             overall_geomean(results, "pairwise")
 

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Golden-trace harness: compact, committed fingerprints of whole runs.
+
+A *trace* is a small JSON document fingerprinting one simulated schedule:
+the retained event log's per-kind counts, the headline metrics, one
+compact record per job, and the fault telemetry.  Traces for the seed
+scenario L1, the mid-size batch L5 and the dynamic-cluster scenario
+churn20 (× the prediction-free ``pairwise``/``oracle`` schemes) are
+committed under ``tests/golden/`` and diffed against fresh runs by
+``test_golden_traces.py`` — so a refactor of the engine, the bus, or the
+fault subsystem gets bit-for-bit evidence instead of ad-hoc worktree
+comparisons.
+
+Regenerate after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/golden/regen.py --regen
+
+Without ``--regen`` the script reports, per case, whether the current
+code still matches the committed trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: The committed cases: (scenario, scheme), all artefact-free schemes so
+#: neither the regen script nor the test ever trains a model.
+CASES: tuple[tuple[str, str], ...] = tuple(
+    (scenario, scheme)
+    for scenario in ("L1", "L5", "churn20")
+    for scheme in ("pairwise", "oracle")
+)
+
+#: Every committed trace pins the same draw: the CLI's default seed on
+#: the default (event-driven) engine.
+SEED = 11
+ENGINE = "event"
+
+
+def trace_path(scenario: str, scheme: str) -> Path:
+    """Where the committed trace of one case lives."""
+    return GOLDEN_DIR / f"{scenario}_{scheme}.json"
+
+
+def make_trace(scenario: str, scheme: str, seed: int = SEED,
+               engine: str = ENGINE) -> dict:
+    """Fingerprint one (scenario, scheme, seed, engine) run.
+
+    The dict is normalised through a JSON round-trip, so comparing it to
+    a committed document compares exactly what the file stores (Python
+    float repr round-trips bit-for-bit).
+    """
+    from repro.cluster.simulator import ClusterSimulator
+    from repro.metrics.throughput import evaluate_schedule, matched_apps
+    from repro.scenarios import load_scenario
+    from repro.scheduling.registry import build_scheduler
+    from repro.spark.driver import DynamicAllocationPolicy
+
+    spec = load_scenario(scenario)
+    cluster = spec.build_cluster()
+    policy = DynamicAllocationPolicy(max_executors=len(cluster))
+    scheduler = build_scheduler(scheme, None, allocation_policy=policy)
+    simulator = ClusterSimulator(cluster, scheduler, seed=seed,
+                                 step_mode=engine,
+                                 max_time_min=spec.max_time_min,
+                                 faults=spec.faults)
+    jobs = spec.make_mixes(n_mixes=1, seed=seed)[0]
+    result = simulator.run(jobs)
+    evaluation = evaluate_schedule(result, jobs, policy)
+
+    event_counts: dict[str, int] = {}
+    for event in result.events.events:
+        kind = event.kind.value
+        event_counts[kind] = event_counts.get(kind, 0) + 1
+
+    trace = {
+        "scenario": spec.name,
+        "scheme": scheme,
+        "seed": seed,
+        "engine": engine,
+        "n_jobs": len(jobs),
+        "event_counts": dict(sorted(event_counts.items())),
+        "metrics": {
+            "stp": evaluation.stp,
+            "antt": evaluation.antt,
+            "antt_reduction_percent": evaluation.antt_reduction_percent,
+            "makespan_min": evaluation.makespan_min,
+            "mean_utilization_percent": evaluation.mean_utilization_percent,
+            "all_finished": evaluation.all_finished,
+        },
+        "jobs": [
+            {
+                "name": app.name,
+                "submit_time_min": app.submit_time,
+                "finish_time_min": app.finish_time,
+                "turnaround_min": app.turnaround_min(),
+                "slowdown": app.turnaround_min() / reference,
+            }
+            for _, app, reference in matched_apps(result, list(jobs), policy)
+        ],
+    }
+    if result.fault_summary is not None:
+        trace["fault_summary"] = result.fault_summary.to_dict()
+    return json.loads(json.dumps(trace))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--regen", action="store_true",
+                        help="overwrite the committed traces with the "
+                             "current code's output")
+    args = parser.parse_args(argv)
+    stale = 0
+    for scenario, scheme in CASES:
+        path = trace_path(scenario, scheme)
+        trace = make_trace(scenario, scheme)
+        if args.regen:
+            path.write_text(json.dumps(trace, indent=2) + "\n")
+            print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)}")
+            continue
+        if not path.is_file():
+            print(f"MISSING {path.name} (run with --regen)")
+            stale += 1
+        elif json.loads(path.read_text()) != trace:
+            print(f"STALE   {path.name} (current run differs; rerun with "
+                  "--regen if intentional)")
+            stale += 1
+        else:
+            print(f"ok      {path.name}")
+    return 1 if stale else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Diff current runs against the committed golden traces.
+
+The traces (see ``regen.py`` in this directory) fingerprint whole
+simulated schedules — event-kind counts, headline metrics, per-job
+outcomes, fault telemetry — for L1/L5/churn20 under the artefact-free
+schemes.  Any behavioural drift in the engines, the event bus, the
+fault subsystem or the arrival path shows up here as a precise diff;
+an *intentional* change is blessed with::
+
+    PYTHONPATH=src python tests/golden/regen.py --regen
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_REGEN_PATH = Path(__file__).resolve().parent / "regen.py"
+_spec = importlib.util.spec_from_file_location("golden_regen", _REGEN_PATH)
+regen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(regen)
+
+
+@pytest.mark.parametrize("scenario,scheme", regen.CASES,
+                         ids=[f"{s}-{p}" for s, p in regen.CASES])
+def test_run_matches_committed_golden_trace(scenario, scheme):
+    path = regen.trace_path(scenario, scheme)
+    assert path.is_file(), (
+        f"golden trace {path.name} is missing; generate it with "
+        f"`PYTHONPATH=src python {_REGEN_PATH} --regen`")
+    committed = json.loads(path.read_text())
+    current = regen.make_trace(scenario, scheme)
+    assert current == committed, (
+        f"{scenario}/{scheme} drifted from its committed golden trace "
+        f"({path.name}).  If the behaviour change is intentional, rerun "
+        f"`PYTHONPATH=src python {_REGEN_PATH} --regen` and commit the "
+        "updated traces.")
+
+
+def test_trace_fingerprints_are_nontrivial():
+    # Guard against the harness silently fingerprinting nothing: the
+    # seed scenario's trace must count real scheduling activity.
+    committed = json.loads(regen.trace_path("L1", "pairwise").read_text())
+    assert committed["event_counts"]["executor_spawned"] > 0
+    assert committed["event_counts"]["app_finished"] == committed["n_jobs"]
+    assert committed["metrics"]["all_finished"] is True
+    assert len(committed["jobs"]) == committed["n_jobs"]
+
+
+def test_churn20_trace_records_fault_activity():
+    committed = json.loads(regen.trace_path("churn20", "oracle").read_text())
+    assert committed["fault_summary"]["node_failures"] > 0
+    assert committed["event_counts"]["node_down"] > 0

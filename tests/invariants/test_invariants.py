@@ -1,0 +1,179 @@
+"""Property-style randomized invariants of the simulation kernel.
+
+Each seed draws a random scenario — workload × arrival process ×
+topology × fault model × scheme — runs it to completion and asserts the
+kernel's physical invariants:
+
+* **conservation of work** — for every application, processed + pending
+  (unassigned + in-flight) + OOM-rerun-queued data equals the submitted
+  input, and a finished run has processed everything;
+* **time monotonicity** — the retained event log is non-decreasing in
+  time for every kind published at its epoch (the two forward-dated
+  completion markers, ``APP_FINISHED``/``PROFILING_FINISHED``, carry
+  their future effective time by design and are excluded);
+* **no executor on a down node** — checked live by a bus subscriber at
+  every ``EXECUTOR_SPAWNED`` event, under schedulers and the OOM re-run
+  path alike;
+* **engine equivalence** — on a sample of the draws, the fixed-step and
+  event-driven engines produce identical headline metrics and per-app
+  finish times.
+
+Failures name the offending seed (in the test id and the assertion
+message), so any draw can be replayed in isolation::
+
+    pytest "tests/invariants/test_invariants.py::test_kernel_invariants[17]"
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.events import EventKind
+from repro.cluster.faults import FaultSpec
+from repro.cluster.simulator import ClusterSimulator
+from repro.metrics.throughput import evaluate_schedule
+from repro.scenarios import ScenarioSpec
+from repro.scheduling.registry import build_scheduler
+from repro.spark.driver import DynamicAllocationPolicy
+from repro.workloads.arrivals import ArrivalSpec
+
+#: Seeds drawn; each is one random scenario × fault × scheme draw.
+SEEDS = range(50)
+
+#: Every fifth draw additionally replays under the fixed-step engine
+#: and asserts metric equality (the expensive half of the property).
+ENGINE_EQUALITY_SEEDS = frozenset(range(0, 50, 5))
+
+_BENCHMARK_POOL = ("HB.Sort", "HB.WordCount", "HB.Scan", "BDB.Sort",
+                   "HB.PageRank", "HB.Kmeans", "BDB.WordCount")
+_TOPOLOGIES = ("paper40", "smallmem24", "hetero_mixed20")
+_SCHEMES = ("pairwise", "oracle", "online_search")
+
+#: Forward-dated completion markers: recorded with their future
+#: effective time while the run is still at the current epoch.
+_FORWARD_DATED = frozenset({EventKind.APP_FINISHED,
+                            EventKind.PROFILING_FINISHED})
+
+
+def draw_scenario(seed: int) -> tuple[ScenarioSpec, str]:
+    """One random scenario × fault × scheme draw, pure in the seed."""
+    rng = np.random.default_rng(10_000 + seed)
+    n_jobs = int(rng.integers(3, 7))
+    jobs = tuple(
+        (str(rng.choice(_BENCHMARK_POOL)),
+         float(np.round(rng.uniform(5.0, 25.0), 1)))
+        for _ in range(n_jobs)
+    )
+    if rng.random() < 0.5:
+        arrival = ArrivalSpec()  # closed batch at t=0
+    else:
+        arrival = ArrivalSpec(kind="poisson",
+                              rate_per_min=float(rng.uniform(0.1, 0.4)))
+    faults = None
+    style = rng.integers(4)
+    if style == 1:
+        faults = FaultSpec(node_failure_rate_per_hour=float(rng.uniform(1, 5)),
+                           node_recovery_min=20.0, horizon_min=240.0)
+    elif style == 2:
+        faults = FaultSpec(preemption_rate_per_hour=float(rng.uniform(2, 8)),
+                           horizon_min=240.0)
+    elif style == 3:
+        faults = FaultSpec(straggler_rate_per_hour=float(rng.uniform(1, 3)),
+                           straggler_slowdown=0.4,
+                           straggler_duration_min=30.0, horizon_min=240.0)
+    spec = ScenarioSpec(name=f"draw{seed}", jobs=jobs, arrival=arrival,
+                        topology=str(rng.choice(_TOPOLOGIES)), faults=faults)
+    return spec, str(rng.choice(_SCHEMES))
+
+
+class SpawnOnDownNodeChecker:
+    """Bus subscriber asserting no executor ever lands on a down node."""
+
+    def __init__(self, cluster, seed: int) -> None:
+        self._cluster = cluster
+        self._seed = seed
+        self.spawns = 0
+
+    def attach(self, bus) -> "SpawnOnDownNodeChecker":
+        bus.subscribe(self.on_spawn, kinds=(EventKind.EXECUTOR_SPAWNED,))
+        return self
+
+    def on_spawn(self, event) -> None:
+        self.spawns += 1
+        node = self._cluster.node(event.node_id)
+        assert node.is_up, (
+            f"seed {self._seed}: executor for {event.app!r} spawned on "
+            f"down node {event.node_id} at t={event.time:g}min")
+
+
+def run_draw(spec: ScenarioSpec, scheme: str, engine: str, seed: int):
+    """Simulate one draw; returns (result, jobs, policy, checker)."""
+    cluster = spec.build_cluster()
+    policy = DynamicAllocationPolicy(max_executors=len(cluster))
+    scheduler = build_scheduler(scheme, None, allocation_policy=policy)
+    simulator = ClusterSimulator(cluster, scheduler, seed=seed,
+                                 step_mode=engine,
+                                 max_time_min=spec.max_time_min,
+                                 faults=spec.faults)
+    checker = SpawnOnDownNodeChecker(cluster, seed).attach(simulator.events)
+    jobs = spec.make_mixes(n_mixes=1, seed=seed)[0]
+    result = simulator.run(jobs)
+    return result, jobs, policy, simulator, checker
+
+
+def assert_conservation(result, simulator, seed: int) -> None:
+    """completed + lost-but-requeued + pending == submitted, per app."""
+    for app in result.apps.values():
+        booked = (app.processed_gb + app.remaining_gb
+                  + simulator.oom_retry_gb.get(app.name, 0.0))
+        assert booked == pytest.approx(app.input_gb, abs=1e-6), (
+            f"seed {seed}: work not conserved for {app.name!r}: "
+            f"processed={app.processed_gb:.6f} + "
+            f"pending={app.remaining_gb:.6f} + "
+            f"oom_queued={simulator.oom_retry_gb.get(app.name, 0.0):.6f} "
+            f"!= submitted={app.input_gb:.6f}")
+    assert result.all_finished(), (
+        f"seed {seed}: run did not complete "
+        f"({[a.name for a in result.apps.values() if a.finish_time is None]}"
+        f" unfinished, {len(result.unsubmitted_jobs)} never arrived)")
+    for app in result.apps.values():
+        assert app.processed_gb == pytest.approx(app.input_gb, abs=1e-6), (
+            f"seed {seed}: {app.name!r} finished with "
+            f"{app.processed_gb:.6f}/{app.input_gb:.6f}GB processed")
+
+
+def assert_log_monotone(result, seed: int) -> None:
+    """Epoch-published events must be chronological in the retained log."""
+    last = -float("inf")
+    for event in result.events.events:
+        if event.kind in _FORWARD_DATED:
+            continue
+        assert event.time >= last - 1e-9, (
+            f"seed {seed}: event log went backwards at "
+            f"{event.kind.value} t={event.time:g} (previous t={last:g})")
+        last = event.time
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kernel_invariants(seed):
+    spec, scheme = draw_scenario(seed)
+    result, jobs, policy, simulator, checker = run_draw(
+        spec, scheme, "event", seed)
+    assert checker.spawns > 0, f"seed {seed}: nothing was ever scheduled"
+    assert_conservation(result, simulator, seed)
+    assert_log_monotone(result, seed)
+
+    if seed not in ENGINE_EQUALITY_SEEDS:
+        return
+    fixed_result, _, _, fixed_sim, _ = run_draw(spec, scheme, "fixed", seed)
+    assert_conservation(fixed_result, fixed_sim, seed)
+    event_eval = evaluate_schedule(result, jobs, policy)
+    fixed_eval = evaluate_schedule(fixed_result, jobs, policy)
+    assert event_eval == fixed_eval, (
+        f"seed {seed}: engines disagree on {spec.name} ({scheme}): "
+        f"event={event_eval} fixed={fixed_eval}")
+    finish_times = {name: app.finish_time
+                    for name, app in result.apps.items()}
+    fixed_finish = {name: app.finish_time
+                    for name, app in fixed_result.apps.items()}
+    assert finish_times == fixed_finish, (
+        f"seed {seed}: per-app finish times differ between engines")
