@@ -21,9 +21,22 @@ performance envelope::
     python benchmarks/fig6_grid.py --quick --workers 2 --n-mixes 4 --output BENCH_baseline.json
     python benchmarks/scenario_smoke.py --merge-into BENCH_baseline.json
 
+When the kernel-throughput reports are passed too (``--throughput`` /
+``--throughput-baseline``, produced by ``benchmarks/throughput.py``),
+the gate additionally checks, per tier present in both reports:
+
+* both kernels still agree bit-for-bit (``kernels_agree``);
+* the vector kernel's events/sec may regress at most the same
+  ``--max-regression`` fraction — normalized, as above, by the
+  same-machine object-kernel events/sec (i.e. the gated quantity is
+  ``vector_speedup``), so runner hardware cancels out.
+
 Usage::
 
     python benchmarks/compare_baseline.py BENCH_pr.json BENCH_baseline.json
+    python benchmarks/compare_baseline.py BENCH_pr.json BENCH_baseline.json \
+        --throughput BENCH_throughput_pr.json \
+        --throughput-baseline BENCH_throughput.json
 """
 
 from __future__ import annotations
@@ -44,12 +57,51 @@ def _load(path: str) -> dict:
         raise SystemExit(2)
 
 
+def check_throughput(pr: dict, base: dict, max_regression: float,
+                     failures: list[str]) -> None:
+    """Gate the kernel-throughput report against its committed baseline.
+
+    Events/sec is hardware-bound, so the gated quantity is the per-tier
+    ``vector_speedup`` (vector events/sec over the same machine's
+    object-kernel events/sec); kernel agreement is gated absolutely.
+    """
+    for tier, entry in sorted(pr.get("tiers", {}).items()):
+        if entry.get("kernels_agree") is not True:
+            failures.append(f"throughput tier {tier!r}: vector and object "
+                            f"kernels diverge (kernels_agree is not true)")
+            continue
+        reference = base.get("tiers", {}).get(tier)
+        if reference is None or "vector_speedup" not in reference:
+            print(f"throughput tier {tier!r}: no committed reference; "
+                  f"skipping the events/sec gate")
+            continue
+        pr_speedup = float(entry["vector_speedup"])
+        base_speedup = float(reference["vector_speedup"])
+        regression = pr_speedup / base_speedup - 1.0
+        print(f"throughput tier {tier!r}: vector kernel at "
+              f"{pr_speedup:.2f}x the object kernel's events/sec "
+              f"(baseline {base_speedup:.2f}x, {regression:+.1%}; "
+              f"budget -{max_regression:.0%})")
+        if pr_speedup < base_speedup * (1.0 - max_regression):
+            failures.append(
+                f"throughput tier {tier!r}: normalized events/sec "
+                f"regression {regression:+.1%} exceeds the "
+                f"{max_regression:.0%} budget")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("candidate", help="freshly produced report "
                                           "(BENCH_pr.json)")
     parser.add_argument("baseline", help="committed reference "
                                          "(BENCH_baseline.json)")
+    parser.add_argument("--throughput", metavar="PATH",
+                        help="freshly produced kernel-throughput report "
+                             "(benchmarks/throughput.py output)")
+    parser.add_argument("--throughput-baseline", metavar="PATH",
+                        default="BENCH_throughput.json",
+                        help="committed kernel-throughput reference "
+                             "(default: BENCH_throughput.json)")
     parser.add_argument(
         "--max-regression", type=float,
         default=float(os.environ.get("REPRO_BENCH_MAX_REGRESSION", "0.15")),
@@ -95,6 +147,11 @@ def main(argv=None) -> int:
         failures.append(
             f"normalized wall-clock regression {regression:+.1%} exceeds "
             f"the {args.max_regression:.0%} budget")
+
+    if args.throughput is not None:
+        check_throughput(_load(args.throughput),
+                         _load(args.throughput_baseline),
+                         args.max_regression, failures)
 
     if failures:
         for failure in failures:

@@ -23,4 +23,4 @@ def test_bench_fig7_fig8_table4_mix(benchmark, suite):
     # Figure 7: our approach drives the highest server utilisation.
     assert ours.mean_utilization_percent >= pairwise.mean_utilization_percent
     # The heat-map data covers all 40 nodes.
-    assert ours.utilization_matrix.shape[0] == 40
+    assert ours.heatmap.shape[0] == 40

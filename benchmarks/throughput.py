@@ -1,0 +1,146 @@
+"""Event-throughput benchmark of the array-backed kernel (mega tier).
+
+Runs the fleet-scale ``mega_*`` scenarios once per kernel — the
+vectorized structured-array kernel (``kernel="vector"``, the default)
+and the per-object fallback (``kernel="object"``) — under the event
+engine with a bus subscriber counting every published event, and
+reports events/sec, jobs/sec and the vector/object speedup per tier:
+
+* ``ci``   — ``mega_ci_1k``: 1k jobs on 128 churning nodes, small
+  enough for every PR's CI run;
+* ``mega`` — ``mega_diurnal_10k``: 10k jobs over a replayed diurnal
+  week on 1024 churning nodes, the headline throughput tier.
+
+Both kernels must agree bit-for-bit — the report records the event
+count and makespan of each and a ``kernels_agree`` flag per tier; a
+fast kernel that diverges is a failure, not a win.  The committed
+``BENCH_throughput.json`` additionally carries a ``prerefactor_baseline``
+section: the same scenario/seed/grid measured from a worktree at the
+growth-seed commit (before the array-backed kernel existed), on the
+same machine as the committed kernel numbers.
+
+Usage::
+
+    python benchmarks/throughput.py --tier ci --output BENCH_throughput.json
+    python benchmarks/throughput.py --tier all --skip-object
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cluster.simulator import ClusterSimulator  # noqa: E402
+from repro.scenarios import scenario  # noqa: E402
+from repro.scheduling import build_scheduler  # noqa: E402
+from repro.spark.driver import DynamicAllocationPolicy  # noqa: E402
+
+#: tier name -> mega-tier scenario it runs.
+TIERS = {"ci": "mega_ci_1k", "mega": "mega_diurnal_10k"}
+
+#: Benchmark grid: half-minute sampling resolution — the regime where
+#: per-epoch costs (usage fan-out, capacity accounting) dominate and a
+#: kernel's scaling behaviour actually shows.
+TIME_STEP_MIN = 0.5
+SEED = 7
+SCHEME = "pairwise"  # needs no offline training; placement-bound
+
+
+def run_once(scenario_name: str, kernel: str) -> dict:
+    """One seeded scenario run on one kernel; returns the measurements."""
+    spec = scenario(scenario_name)
+    cluster = spec.build_cluster()
+    scheduler = build_scheduler(
+        SCHEME, None,
+        allocation_policy=DynamicAllocationPolicy(max_executors=len(cluster)))
+    simulator = ClusterSimulator(
+        cluster, scheduler, seed=SEED, step_mode="event",
+        time_step_min=TIME_STEP_MIN, record_utilization=False,
+        max_time_min=spec.max_time_min, faults=spec.faults, kernel=kernel)
+    n_events = 0
+
+    def count(event) -> None:
+        nonlocal n_events
+        n_events += 1
+
+    simulator.events.subscribe(count)
+    jobs = spec.make_mixes(n_mixes=1, seed=SEED)[0]
+    start = time.perf_counter()
+    result = simulator.run(jobs)
+    wall = time.perf_counter() - start
+    finished = sum(1 for app in simulator.submission_order
+                   if app.finish_time is not None)
+    return {
+        "kernel": kernel,
+        "wall_clock_s": round(wall, 2),
+        "events": n_events,
+        "events_per_s": round(n_events / wall, 1),
+        "jobs": len(jobs),
+        "jobs_finished": finished,
+        "jobs_per_s": round(finished / wall, 2),
+        "makespan_min": result.makespan_min,
+    }
+
+
+def run_tier(tier: str, kernels: tuple[str, ...]) -> dict:
+    scenario_name = TIERS[tier]
+    report: dict = {"scenario": scenario_name}
+    for kernel in kernels:
+        print(f"[{tier}] {scenario_name} kernel={kernel} ...",
+              flush=True, file=sys.stderr)
+        report[kernel] = run_once(scenario_name, kernel)
+        print(f"[{tier}]   {report[kernel]['wall_clock_s']}s, "
+              f"{report[kernel]['events_per_s']:,.0f} events/s",
+              flush=True, file=sys.stderr)
+    if "vector" in report and "object" in report:
+        vector, obj = report["vector"], report["object"]
+        report["kernels_agree"] = (
+            vector["events"] == obj["events"]
+            and vector["makespan_min"] == obj["makespan_min"])
+        report["vector_speedup"] = round(
+            vector["events_per_s"] / obj["events_per_s"], 2)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tier", choices=(*TIERS, "all"), default="ci",
+                        help="which mega-tier slice to run (default: ci)")
+    parser.add_argument("--skip-object", action="store_true",
+                        help="run only the vector kernel (no fallback "
+                             "comparison run, no speedup/agreement fields)")
+    parser.add_argument("--output", default="BENCH_throughput.json",
+                        metavar="PATH", help="report destination "
+                                             "(default: BENCH_throughput.json)")
+    args = parser.parse_args(argv)
+
+    kernels = ("vector",) if args.skip_object else ("vector", "object")
+    tiers = list(TIERS) if args.tier == "all" else [args.tier]
+    report = {
+        "benchmark": "kernel_throughput",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "engine": "event",
+        "time_step_min": TIME_STEP_MIN,
+        "seed": SEED,
+        "scheme": SCHEME,
+        "tiers": {tier: run_tier(tier, kernels) for tier in tiers},
+    }
+    for tier, entry in report["tiers"].items():
+        if entry.get("kernels_agree") is False:
+            print(f"FAIL: kernels diverge on tier {tier!r}", file=sys.stderr)
+            Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+            return 1
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["tiers"], indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,4 +24,48 @@ contribution:
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+#: The formal public surface of the top level: the version, plus lazy
+#: re-exports of the flagship experiment API (:mod:`repro.api`) and the
+#: scheduling environment (:mod:`repro.env`).  Everything else is reached
+#: through its subpackage; ``docs/API.md`` records the stability tier of
+#: every documented name.
+__all__ = [
+    "__version__",
+    # experiment API (lazy re-exports from repro.api)
+    "ExperimentPlan",
+    "Session",
+    "SchedulerSuite",
+    "CellResult",
+    "ScenarioResult",
+    "register_scheme",
+    # scheduling environment (lazy re-export from repro.env)
+    "SchedulingEnv",
+]
+
+#: Which subpackage actually defines each lazy top-level name.
+_LAZY_EXPORTS = {
+    "ExperimentPlan": "repro.api",
+    "Session": "repro.api",
+    "SchedulerSuite": "repro.api",
+    "CellResult": "repro.api",
+    "ScenarioResult": "repro.api",
+    "register_scheme": "repro.api",
+    "SchedulingEnv": "repro.env",
+}
+
+
+def __getattr__(name: str):
+    # Lazy so `import repro` stays cheap and free of import cycles; the
+    # resolved attribute is cached in the module namespace.
+    source = _LAZY_EXPORTS.get(name)
+    if source is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(source), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__))

@@ -30,14 +30,15 @@ Quickstart::
                   f"STP={cell.stp:.2f} ({len(cell.jobs)} jobs)")
         rows = session.run(plan)               # deterministic aggregates
 
-The legacy ``repro.experiments.common.run_scenarios`` barrier call is a
-deprecated shim over this package.
+This package *is* the experiment surface: the pre-API entry points
+(the ``run_scenarios`` barrier call and its cache shim module) have
+been retired.
 """
 
 from repro.api.cache import (
     default_cache_dir,
     load_or_train_suite,
-    suite_cache_path,
+    suite_path,
     suite_fingerprint,
 )
 from repro.api.plan import DEFAULT_SCENARIOS, ExperimentPlan, PlanError
@@ -117,6 +118,6 @@ __all__ = [
     # suite cache
     "load_or_train_suite",
     "suite_fingerprint",
-    "suite_cache_path",
+    "suite_path",
     "default_cache_dir",
 ]

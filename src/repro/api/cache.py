@@ -29,7 +29,7 @@ from repro.core.training import (
 from repro.workloads.suites import TRAINING_BENCHMARKS
 
 __all__ = ["CACHE_VERSION", "default_cache_dir", "suite_fingerprint",
-           "suite_cache_path", "load_or_train_suite"]
+           "suite_path", "load_or_train_suite"]
 
 #: Bump when the pickle payload layout or training pipeline changes shape.
 CACHE_VERSION = 1
@@ -56,7 +56,7 @@ def suite_fingerprint() -> str:
     return digest.hexdigest()
 
 
-def suite_cache_path(cache_dir: str | Path | None = None) -> Path:
+def suite_path(cache_dir: str | Path | None = None) -> Path:
     """Where the current training configuration's suite pickle lives."""
     base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     return base / f"scheduler_suite-{suite_fingerprint()[:16]}.pkl"
@@ -71,7 +71,7 @@ def load_or_train_suite(cache_dir: str | Path | None = None,
     run.  Corrupt or stale cache files are ignored and overwritten, never
     fatal.
     """
-    path = suite_cache_path(cache_dir)
+    path = suite_path(cache_dir)
     fingerprint = suite_fingerprint()
     if use_cache and path.is_file():
         try:

@@ -5,7 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
+import numpy as np
+
 from repro.cluster.node import Node
+from repro.cluster.state import ClusterState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topologies -> cluster)
     from repro.cluster.topologies import NodeSpec
@@ -20,9 +23,26 @@ class Cluster:
     Every aggregate and scan below works per node, so schedulers built on
     them remain correct when node capacities differ (heterogeneous
     topologies, :mod:`repro.cluster.topologies`).
+
+    The cluster owns the array-backed kernel state
+    (:class:`~repro.cluster.state.ClusterState`): every node — and every
+    executor placed on one — is adopted into a structured-array slot, so
+    the membership scans below are vectorized column operations instead
+    of per-object Python loops, while returning the exact same node
+    objects in the exact same order as the historical scans.
     """
 
     nodes: list[Node] = field(default_factory=list)
+    state: ClusterState = field(init=False, repr=False, compare=False)
+    #: Object-array mirror of ``nodes`` so placement scans can gather
+    #: node objects with one fancy index instead of a Python loop.
+    _node_arr: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.state = ClusterState(len(self.nodes))
+        for node in self.nodes:
+            self.state.adopt_node(node)
+        self._node_arr = np.array(self.nodes, dtype=object)
 
     @classmethod
     def homogeneous(cls, n_nodes: int, ram_gb: float = 64.0, swap_gb: float = 16.0,
@@ -75,15 +95,18 @@ class Cluster:
         node = Node(node_id=len(self.nodes), ram_gb=ram_gb,
                     swap_gb=swap_gb, cores=cores)
         self.nodes.append(node)
+        self.state.adopt_node(node)
+        self._node_arr = np.array(self.nodes, dtype=object)
         return node
 
     def up_nodes(self) -> list[Node]:
         """Nodes currently part of the live cluster, in id order."""
-        return [node for node in self.nodes if node.is_up]
+        up = self.state.nodes_view()["up"]
+        return [self.nodes[i] for i in np.flatnonzero(up).tolist()]
 
     def up_count(self) -> int:
         """Number of live nodes (the basis for live executor caps)."""
-        return sum(1 for node in self.nodes if node.is_up)
+        return int(np.count_nonzero(self.state.nodes_view()["up"]))
 
     @property
     def total_ram_gb(self) -> float:
@@ -99,22 +122,32 @@ class Cluster:
 
         Down nodes never appear in placement scans; with every node up
         (the no-fault case) this is the full node list, as it always was.
+        The sort runs over the reservation columns (stable, so ties keep
+        id order exactly like the historical ``sorted`` call).
         """
-        return sorted((n for n in self.nodes if n.is_up),
-                      key=lambda n: n.free_reserved_memory_gb,
-                      reverse=True)
+        state = self.state
+        state.refresh_dirty()
+        rows = state.nodes_view()
+        free = rows["ram_gb"] - rows["reserved_mem_gb"]
+        np.maximum(free, 0.0, out=free)
+        order = np.argsort(-free, kind="stable")
+        order = order[rows["up"][order]]
+        return self._node_arr[order].tolist()
 
     def idle_nodes(self) -> list[Node]:
         """Live nodes that currently host no active executor."""
-        return [node for node in self.nodes
-                if node.is_up and not node.active_executors()]
+        state = self.state
+        state.refresh_dirty()
+        rows = state.nodes_view()
+        idle = rows["up"] & (rows["n_active"] == 0)
+        return [self.nodes[i] for i in np.flatnonzero(idle).tolist()]
 
     def active_applications(self) -> set[str]:
         """Applications with at least one active executor anywhere."""
-        applications: set[str] = set()
-        for node in self.nodes:
-            applications |= node.applications()
-        return applications
+        state = self.state
+        exec_objs = state.exec_objs
+        return {exec_objs[slot].app_name
+                for slot in state.active_slots().tolist()}
 
 
 def paper_cluster() -> Cluster:

@@ -35,10 +35,31 @@ scheduler invocations — fault events are themselves grid-aligned epochs —
 the grid-aligned jumps reproduce the fixed-step trajectory — placements,
 failures, finish times and monitor samples — while skipping every step at
 which nothing can change.
+
+**Kernels.**  Both engines run their per-epoch hot loops in one of two
+modes, selected by ``ClusterSimulator(kernel=...)``:
+
+* ``"vector"`` (default) — capacity accounting, progress advancement and
+  utilization sampling are vectorized reductions over the structured
+  arrays of :class:`~repro.cluster.state.ClusterState`, and the epoch
+  bookkeeping that scans every application (completion finalisation,
+  profiling-ready and rescan wake-points) runs over incrementally
+  maintained candidate sets instead of full rescans.
+* ``"object"`` — the historical per-object Python loops over the same
+  array-backed views; kept as the like-for-like baseline for the
+  throughput benchmark and as a bit-for-bit cross-check.
+
+Both kernels publish identical event streams: the vectorized reductions
+are chosen operation by operation to be IEEE-identical to the per-object
+iteration (per-node ``np.bincount`` accumulation matches insertion-order
+summation, finish events are emitted in the legacy node-major order, and
+so on), which the golden traces and the engine-equivalence invariants
+pin down.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 
@@ -49,6 +70,7 @@ from repro.cluster.events import (
     EventKind,
     ExecutorFinished,
     ExecutorOOM,
+    SampleBatch,
     SchedulerWake,
 )
 from repro.spark.application import ApplicationState
@@ -58,6 +80,27 @@ __all__ = ["STEP_MODES", "FixedStepEngine", "EventDrivenEngine", "make_engine"]
 
 #: Step modes understood by :func:`make_engine` / ``ClusterSimulator``.
 STEP_MODES: tuple[str, ...] = ("fixed", "event")
+
+
+@dataclass
+class _VectorSnapshot:
+    """Per-node dynamics of one epoch, computed from the state arrays.
+
+    All per-node columns are full-length (one entry per node, id order);
+    the per-executor columns are restricted to the active slots.
+    """
+
+    act: np.ndarray          # active executor slots, ascending (= spawn order)
+    node_of: np.ndarray      # node slot of each active executor
+    counts: np.ndarray       # active executors per node
+    total_memory: np.ndarray  # aggregate resident footprint per node (GB)
+    total_cpu: np.ndarray    # aggregate CPU demand per node
+    cpu_factor: np.ndarray
+    memory_factor: np.ndarray
+    bandwidth_factor: np.ndarray
+    speed: np.ndarray
+    paging: np.ndarray       # bool per node
+    utilization: np.ndarray  # effective CPU utilisation per node, percent
 
 
 class _EngineBase:
@@ -73,6 +116,22 @@ class _EngineBase:
 
     def __init__(self, sim) -> None:
         self.sim = sim
+        # Vector-kernel completion tracking: apps that might have become
+        # complete since the last finalisation pass.  Fed by the bus (an
+        # executor finishing is the only way an app's remaining work can
+        # reach zero; submission covers degenerate already-complete
+        # inputs), so finalisation touches candidates instead of every
+        # application every epoch.
+        self._completion_candidates: set[str] = set()
+        self._n_finished = 0
+        if sim.kernel == "vector":
+            sim.events.subscribe(self._on_completion_event,
+                                 kinds=(EventKind.EXECUTOR_FINISHED,
+                                        EventKind.APP_SUBMITTED))
+
+    def _on_completion_event(self, event) -> None:
+        if event.app is not None:
+            self._completion_candidates.add(event.app)
 
     # ------------------------------------------------------------------
     # The unified lifecycle loop
@@ -129,6 +188,10 @@ class _EngineBase:
 
     def _start(self, context) -> None:
         """Hook: reset per-run engine state before the first epoch."""
+        self._completion_candidates.clear()
+        self._n_finished = sum(
+            1 for app in self.sim.submission_order
+            if app.state is ApplicationState.FINISHED)
 
     def _within_horizon(self, now: float) -> bool:
         return now < self.sim.max_time_min
@@ -154,6 +217,10 @@ class _EngineBase:
         sim = self.sim
         for app_name, pending_gb in list(sim.oom_retry_gb.items()):
             if pending_gb <= 1e-9:
+                # Fully re-queued: drop the entry so the per-epoch scans
+                # (rescan wake-points, completion guards) stay O(pending)
+                # instead of accumulating every app that ever OOMed.
+                del sim.oom_retry_gb[app_name]
                 continue
             app = sim.apps[app_name]
             spec = sim.specs[app_name]
@@ -170,11 +237,35 @@ class _EngineBase:
                     app.take_unassigned(chunk)
                     continue
                 pending_gb -= chunk
-            sim.oom_retry_gb[app_name] = pending_gb
+            if pending_gb <= 1e-9:
+                del sim.oom_retry_gb[app_name]
+            else:
+                sim.oom_retry_gb[app_name] = pending_gb
 
     def finalize_completed_apps(self, now: float) -> None:
         """Mark applications whose every gigabyte has been processed."""
         sim = self.sim
+        if sim.kernel == "vector":
+            candidates = self._completion_candidates
+            if not candidates:
+                return
+            index_of = sim.submission_index
+            for name in sorted(candidates, key=index_of.__getitem__):
+                app = sim.apps[name]
+                if app.state is ApplicationState.FINISHED:
+                    candidates.discard(name)
+                    continue
+                if sim.oom_retry_gb.get(name, 0.0) > 1e-9:
+                    # Blocked on the isolated re-run queue; stays a
+                    # candidate until the retry data drains.
+                    continue
+                if app.is_complete():
+                    app.mark_finished(now + sim.specs[name].startup_min)
+                    sim.events.record(app.finish_time, EventKind.APP_FINISHED,
+                                      app=name)
+                    self._n_finished += 1
+                candidates.discard(name)
+            return
         for app in sim.submission_order:
             if app.state is ApplicationState.FINISHED:
                 continue
@@ -188,8 +279,11 @@ class _EngineBase:
                                   app=app.name)
 
     def _all_finished(self) -> bool:
+        sim = self.sim
+        if sim.kernel == "vector":
+            return self._n_finished == len(sim.submission_order)
         return all(app.state is ApplicationState.FINISHED
-                   for app in self.sim.submission_order)
+                   for app in sim.submission_order)
 
     def _resolve_node_oom(self, node, now: float, footprint_of):
         """Kill the most recently placed executors until the node fits.
@@ -222,6 +316,91 @@ class _EngineBase:
     def _forget_executor(self, executor: Executor) -> None:
         """Hook: an executor left the cluster (finished or killed)."""
 
+    # ------------------------------------------------------------------
+    # Vectorized per-epoch dynamics (shared by both engines)
+    # ------------------------------------------------------------------
+    def _vector_snapshot(self, fill_memo: bool = True) -> _VectorSnapshot:
+        """Compute every node's frozen dynamics from the state arrays.
+
+        Per-node sums use ``np.bincount``, whose per-bin accumulation is
+        sequential in input order — slot order, which equals each node's
+        executor insertion order — so the sums are bit-for-bit what the
+        per-object path's Python ``sum`` computes.
+        """
+        sim = self.sim
+        state = sim.cluster.state
+        state.refresh_dirty()
+        n = state.n_nodes
+        nodes = state.nodes_view()
+        ex = state.execs_view()
+        act = state.active_slots()
+        node_of = ex["node_slot"][act]
+        if fill_memo and act.size:
+            # Engine-owned memo columns: the benchmark's progress rate and
+            # the ground-truth footprint of the currently assigned share.
+            # NaN keys (never filled) compare unequal to everything, so a
+            # fresh slot or a grown share recomputes exactly once.
+            assigned = ex["assigned_gb"]
+            stale = act[ex["footprint_key_gb"][act] != assigned[act]]
+            if stale.size:
+                exec_objs = state.exec_objs
+                specs = sim.specs
+                for slot in stale.tolist():
+                    spec = specs[exec_objs[slot].app_name]
+                    share = float(assigned[slot])
+                    ex["footprint_gb"][slot] = spec.true_footprint_gb(share)
+                    ex["footprint_key_gb"][slot] = share
+                    ex["rate_gb_per_min"][slot] = spec.rate_gb_per_min
+        counts = np.bincount(node_of, minlength=n)
+        total_memory = np.bincount(node_of, weights=ex["footprint_gb"][act],
+                                   minlength=n)
+        total_cpu = nodes["reserved_cpu"].copy()
+        cpu_factor = np.ones(n)
+        over = total_cpu > 1.0
+        if over.any():
+            cpu_factor[over] = 1.0 / total_cpu[over]
+        paging = total_memory > nodes["ram_gb"]
+        memory_factor = np.where(paging, sim.interference.paging_slowdown, 1.0)
+        bandwidth_factor = np.ones(n)
+        multi = counts > 1
+        if multi.any():
+            bandwidth_factor[multi] = np.maximum(
+                sim.interference.bandwidth_floor,
+                1.0 - sim.interference.bandwidth_alpha * (counts[multi] - 1))
+        utilization = np.minimum(total_cpu, 1.0) * cpu_factor * 100.0
+        return _VectorSnapshot(
+            act=act, node_of=node_of, counts=counts,
+            total_memory=total_memory, total_cpu=total_cpu,
+            cpu_factor=cpu_factor, memory_factor=memory_factor,
+            bandwidth_factor=bandwidth_factor, speed=nodes["speed"],
+            paging=paging, utilization=utilization)
+
+    def _vector_samples(self, snap: _VectorSnapshot) -> SampleBatch:
+        """The per-node usage sample batch for one ``ClusterSample`` event.
+
+        Column-oriented: hot subscribers read the arrays directly and
+        the O(nodes) row tuples only ever materialise if a consumer
+        iterates the batch.  The id list is copied because node joins
+        append to the state's list in place, while a published batch
+        must keep describing the nodes it sampled.
+        """
+        return SampleBatch(list(self.sim.cluster.state.node_ids),
+                           snap.total_memory,
+                           np.minimum(snap.total_cpu, 1.0),
+                           snap.utilization)
+
+    def _vector_oom_flags(self, snap: _VectorSnapshot) -> np.ndarray:
+        """Node slots whose co-running footprints exhausted RAM + swap."""
+        nodes = self.sim.cluster.state.nodes_view()
+        flagged = ((snap.counts > 1)
+                   & (snap.total_memory > nodes["ram_gb"] + nodes["swap_gb"]))
+        return np.flatnonzero(flagged)
+
+    def _vector_footprint(self, executor: Executor) -> float:
+        """Memoised ground-truth footprint, read from the state arrays."""
+        state = self.sim.cluster.state
+        return float(state._exec["footprint_gb"][executor._slot])
+
 
 class FixedStepEngine(_EngineBase):
     """Advance time in constant ``time_step_min`` increments."""
@@ -231,6 +410,63 @@ class FixedStepEngine(_EngineBase):
         return now + self.sim.time_step_min
 
     def _advance_executors(self, now: float) -> None:
+        if self.sim.kernel == "vector":
+            self._advance_executors_vector(now)
+        else:
+            self._advance_executors_object(now)
+
+    def _advance_executors_vector(self, now: float) -> None:
+        """One fixed step as array reductions, legacy event order kept.
+
+        Steps on which some node exhausted RAM + swap fall back to the
+        per-object path: OOM resolution interleaves kill/paging/finish
+        events per node, and replaying that exact interleaving is worth
+        more than vectorizing the rare step that contains it.
+        """
+        sim = self.sim
+        state = sim.cluster.state
+        snap = self._vector_snapshot()
+        if self._vector_oom_flags(snap).size:
+            self._advance_executors_object(now)
+            return
+        dt = sim.time_step_min
+        ex = state.execs_view()
+        act = snap.act
+        node_of = snap.node_of
+        fin_by_node: dict[int, list[int]] = {}
+        if act.size:
+            # The paper's rate composition, in the fixed engine's exact
+            # association order: (((rate * cpu) * mem) * bw) * speed.
+            rates = ex["rate_gb_per_min"][act] * snap.cpu_factor[node_of]
+            rates *= snap.memory_factor[node_of]
+            rates *= snap.bandwidth_factor[node_of]
+            rates *= snap.speed[node_of]
+            assigned = ex["assigned_gb"][act]
+            new_processed = np.minimum(ex["processed_gb"][act] + rates * dt,
+                                       assigned)
+            ex["processed_gb"][act] = new_processed
+            finished = np.flatnonzero((assigned - new_processed) <= 1e-9)
+            for i in finished.tolist():
+                fin_by_node.setdefault(int(node_of[i]), []).append(int(act[i]))
+        eventful = set(fin_by_node)
+        eventful.update(np.flatnonzero(snap.paging).tolist())
+        for node_slot in sorted(eventful):
+            node = state.node_objs[node_slot]
+            if snap.paging[node_slot]:
+                sim.events.record(
+                    now, EventKind.NODE_PAGING, node_id=node.node_id,
+                    detail=f"resident={snap.total_memory[node_slot]:.1f}GB")
+            for slot in fin_by_node.get(node_slot, ()):
+                executor = state.exec_objs[slot]
+                executor.state = ExecutorState.FINISHED
+                node.remove_executor(executor)
+                sim.events.publish(ExecutorFinished(
+                    time=now + dt, app=executor.app_name,
+                    node_id=node.node_id))
+        sim.events.publish(ClusterSample(time=now, times=(now,),
+                                         samples=self._vector_samples(snap)))
+
+    def _advance_executors_object(self, now: float) -> None:
         sim = self.sim
         dt = sim.time_step_min
         # One usage sample per node per step, published as a single batch
@@ -332,6 +568,7 @@ class EventDrivenEngine(_EngineBase):
         # assigned data, so the cache invalidates itself when a dispatcher
         # grows an executor's share.  Executors lost to dynamic-cluster
         # events (node failure, preemption) are dropped via the bus.
+        # (The vector kernel keeps this memo in the state arrays instead.)
         self._footprints: dict[int, tuple[float, float]] = {}
         self._sample_idx = 0
         sim.events.subscribe(self._on_executor_lost,
@@ -342,12 +579,15 @@ class EventDrivenEngine(_EngineBase):
     # Epoch advancement
     # ------------------------------------------------------------------
     def _start(self, context) -> None:
+        super()._start(context)
         self._sample_idx = 0  # next uniform sample grid index (= idx * dt)
 
     def _within_horizon(self, now: float) -> bool:
         return now < self.sim.max_time_min - 1e-9
 
     def _advance_epoch(self, context, now: float) -> float | None:
+        if self.sim.kernel == "vector":
+            return self._advance_epoch_vector(context, now)
         sim = self.sim
         eps = 1e-9
         self._kill_oom_victims(now)
@@ -366,6 +606,85 @@ class EventDrivenEngine(_EngineBase):
         self._sample_idx = self._record_interval(now, t_next, state.per_node,
                                                  self._sample_idx)
         self._advance(state, t_next - now, t_next)
+        return t_next
+
+    def _advance_epoch_vector(self, context, now: float) -> float | None:
+        """One event-driven epoch over the state arrays.
+
+        Same sequence as the per-object path — OOM kills, state build
+        (paging records), wake-point minimum, interval samples, progress
+        advancement with finish events in node-major order — with every
+        full scan replaced by a column reduction.
+        """
+        sim = self.sim
+        state = sim.cluster.state
+        eps = 1e-9
+        snap = self._vector_snapshot()
+        oom_nodes = self._vector_oom_flags(snap)
+        if oom_nodes.size:
+            for node_slot in oom_nodes.tolist():
+                self._resolve_node_oom(state.node_objs[node_slot], now,
+                                       self._vector_footprint)
+            snap = self._vector_snapshot()
+        # Paging transitions are recorded while building the state, per
+        # node in id order — exactly like the per-object state build.
+        for node_slot in np.flatnonzero(snap.paging).tolist():
+            sim.events.record(
+                now, EventKind.NODE_PAGING,
+                node_id=state.node_ids[node_slot],
+                detail=f"resident={snap.total_memory[node_slot]:.1f}GB")
+        ex = state.execs_view()
+        act = snap.act
+        rates = remaining = None
+        if act.size:
+            # The event engine's association order:
+            # rate = spec.rate * (((cpu * mem) * bw) * speed).
+            factor = snap.cpu_factor * snap.memory_factor
+            factor *= snap.bandwidth_factor
+            factor *= snap.speed
+            rates = ex["rate_gb_per_min"][act] * factor[snap.node_of]
+            remaining = np.maximum(
+                ex["assigned_gb"][act] - ex["processed_gb"][act], 0.0)
+            next_finish = self._align(
+                now + float(np.min(remaining / rates)), now)
+        else:
+            next_finish = math.inf
+        t_next = min(next_finish,
+                     self._next_arrival(now),
+                     self._next_profiling_ready(now),
+                     self._next_fault(now),
+                     self._scheduler_wake(now),
+                     self._rescan_tick(now),
+                     sim.max_time_min)
+        if not math.isfinite(t_next):
+            return None
+        if t_next <= now + eps:  # safety net; events are strictly future
+            t_next = now + sim.time_step_min
+        times, self._sample_idx = self._sample_times(t_next, self._sample_idx)
+        if times:
+            sim.events.publish(ClusterSample(time=now, times=tuple(times),
+                                             samples=self._vector_samples(snap)))
+        if act.size:
+            delta = t_next - now
+            assigned = ex["assigned_gb"][act]
+            new_processed = np.minimum(ex["processed_gb"][act] + rates * delta,
+                                       assigned)
+            ex["processed_gb"][act] = new_processed
+            finished = np.flatnonzero((assigned - new_processed) <= 1e-9)
+            if finished.size:
+                # Publish finishes in the legacy node-major order: stable
+                # sort by node keeps slot (= insertion) order within one.
+                order = np.argsort(snap.node_of[finished], kind="stable")
+                fin_slots = act[finished]
+                fin_nodes = snap.node_of[finished]
+                for i in order.tolist():
+                    executor = state.exec_objs[int(fin_slots[i])]
+                    node = state.node_objs[int(fin_nodes[i])]
+                    executor.state = ExecutorState.FINISHED
+                    node.remove_executor(executor)
+                    sim.events.publish(ExecutorFinished(
+                        time=t_next, app=executor.app_name,
+                        node_id=node.node_id))
         return t_next
 
     # ------------------------------------------------------------------
@@ -418,6 +737,19 @@ class EventDrivenEngine(_EngineBase):
     def _next_profiling_ready(self, now: float) -> float:
         """Earliest future profiling-window expiry of an unfinished app."""
         sim = self.sim
+        if sim.kernel == "vector":
+            # Lazy-deletion heap maintained at submission: entries whose
+            # expiry has passed (simulated time never rewinds within a
+            # run) or whose app finished are popped for good.
+            heap = sim.profiling_heap
+            while heap:
+                t, name = heap[0]
+                if (t <= now + 1e-9
+                        or sim.apps[name].state is ApplicationState.FINISHED):
+                    heapq.heappop(heap)
+                    continue
+                return self._align(t, now)
+            return math.inf
         ready = min((t for name, t in sim.ready_time.items()
                      if t > now + 1e-9
                      and sim.apps[name].state is not ApplicationState.FINISHED),
@@ -441,6 +773,25 @@ class EventDrivenEngine(_EngineBase):
         ``rescan_min`` while such work exists.
         """
         sim = self.sim
+        if sim.kernel == "vector":
+            # Same first-hit scan, over the lazily compacted live-apps
+            # list (submission order, finished apps dropped as seen).
+            apps = sim._live_apps
+            write = 0
+            for read in range(len(apps)):
+                app = apps[read]
+                if app.state is ApplicationState.FINISHED:
+                    continue
+                if (sim.oom_retry_gb.get(app.name, 0.0) > 1e-9
+                        or (app.unassigned_gb > 1e-6
+                            and sim.ready_time[app.name] <= now + 1e-9)):
+                    if write != read:
+                        apps[write:] = apps[read:]
+                    return self._align(now + self.rescan_min, now)
+                apps[write] = app
+                write += 1
+            del apps[write:]
+            return math.inf
         for app in sim.submission_order:
             if app.state is ApplicationState.FINISHED:
                 continue
@@ -530,6 +881,17 @@ class EventDrivenEngine(_EngineBase):
                              nodes=flat_nodes, rates=rates_arr,
                              remaining=remaining)
 
+    def _sample_times(self, t1: float, sample_idx: int) -> tuple[list, int]:
+        """Uniform sample-grid points strictly before ``t1``."""
+        dt = self.sim.time_step_min
+        times = []
+        t = sample_idx * dt
+        while t < t1 - 1e-9:
+            times.append(t)
+            sample_idx += 1
+            t = sample_idx * dt
+        return times, sample_idx
+
     def _record_interval(self, t0: float, t1: float,
                          states: list[_NodeState], sample_idx: int) -> int:
         """Publish the uniform-grid usage samples covered by [t0, t1).
@@ -540,13 +902,7 @@ class EventDrivenEngine(_EngineBase):
         have published step by step.
         """
         sim = self.sim
-        dt = sim.time_step_min
-        times = []
-        t = sample_idx * dt
-        while t < t1 - 1e-9:
-            times.append(t)
-            sample_idx += 1
-            t = sample_idx * dt
+        times, sample_idx = self._sample_times(t1, sample_idx)
         if not times:
             return sample_idx
         samples = tuple(

@@ -200,6 +200,44 @@ class SchedulerWake(Event):
     kind: EventKind = EventKind.SCHEDULER_WAKE
 
 
+class SampleBatch:
+    """Column-oriented per-node usage rows (the vector kernel's payload).
+
+    Behaves exactly like the row-oriented
+    ``((node_id, memory_gb, cpu_load, utilization_percent), ...)`` tuple
+    the object kernel publishes — iteration and indexing materialise the
+    rows lazily — but hot subscribers can read the ``node_ids`` /
+    ``memory`` / ``cpu`` / ``util`` columns directly and skip the
+    O(nodes) tuple fan-out per epoch entirely.  The float64 columns
+    round-trip to the identical Python floats the row form would carry,
+    so both payload shapes feed bit-for-bit identical statistics.
+    """
+
+    __slots__ = ("node_ids", "memory", "cpu", "util", "_rows")
+
+    def __init__(self, node_ids, memory, cpu, util) -> None:
+        self.node_ids = node_ids  # list[int], one per cluster node
+        self.memory = memory      # float64 ndarray, resident GB
+        self.cpu = cpu            # float64 ndarray, CPU load in [0, 1]
+        self.util = util          # float64 ndarray, utilisation percent
+        self._rows: tuple | None = None
+
+    def _materialize(self) -> tuple:
+        if self._rows is None:
+            self._rows = tuple(zip(self.node_ids, self.memory.tolist(),
+                                   self.cpu.tolist(), self.util.tolist()))
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+
 @dataclass(frozen=True)
 class ClusterSample(Event):
     """Per-node usage samples over a constant-state interval (transient).
@@ -207,15 +245,17 @@ class ClusterSample(Event):
     ``times`` holds the uniform-grid sample timestamps the interval
     covers (a single step for the fixed-step engine, a whole jump for
     the event engine); ``samples`` holds one
-    ``(node_id, memory_gb, cpu_load, utilization_percent)`` tuple per
-    cluster node, constant across the interval.  Subscribers — the
-    resource monitor, the utilisation trace recorder, streaming
-    utilisation statistics — fan the batch out however they need.
+    ``(node_id, memory_gb, cpu_load, utilization_percent)`` row per
+    cluster node, constant across the interval — either a tuple of
+    tuples (object kernel) or an equivalent :class:`SampleBatch`
+    (vector kernel).  Subscribers — the resource monitor, the
+    utilisation trace recorder, streaming utilisation statistics — fan
+    the batch out however they need.
     """
 
     kind: EventKind = EventKind.CLUSTER_SAMPLE
     times: tuple[float, ...] = ()
-    samples: tuple[tuple[int, float, float, float], ...] = ()
+    samples: tuple[tuple[int, float, float, float], ...] | SampleBatch = ()
 
 
 #: High-frequency telemetry kinds dispatched to subscribers but never

@@ -572,7 +572,10 @@ class FaultController:
         self._notify(context, published)
 
     def _apply_node_up(self, context, event: FaultEvent, now: float) -> None:
-        candidates = [n for n in self.sim.cluster.nodes if not n.is_up]
+        cluster = self.sim.cluster
+        up = cluster.state.nodes_view()["up"]
+        candidates = [cluster.nodes[i]
+                      for i in np.flatnonzero(~up).tolist()]
         node = self._pick_node(event, candidates)
         if node is None:
             return
@@ -594,10 +597,12 @@ class FaultController:
 
     def _apply_preempt(self, context, event: FaultEvent, now: float) -> None:
         sim = self.sim
-        victims = sorted(
-            (executor for node in sim.cluster.nodes
-             for executor in node.active_executors()),
-            key=lambda e: e.executor_id)
+        state = sim.cluster.state
+        exec_objs = state.exec_objs
+        # Active slots are already in spawn order; the sort (adaptive,
+        # O(n) on sorted input) pins the historical executor-id order.
+        victims = [exec_objs[slot] for slot in state.active_slots().tolist()]
+        victims.sort(key=lambda e: e.executor_id)
         if not victims:
             return
         index = min(int(event.draw * len(victims)), len(victims) - 1)
@@ -606,8 +611,11 @@ class FaultController:
         self._kill_one(executor, node, now, ExecutorPreempted)
 
     def _apply_straggler_on(self, context, event: FaultEvent, now: float) -> None:
-        candidates = [n for n in self.sim.cluster.up_nodes()
-                      if n.speed_factor >= 1.0]
+        cluster = self.sim.cluster
+        rows = cluster.state.nodes_view()
+        mask = rows["up"] & (rows["speed"] >= 1.0)
+        candidates = [cluster.nodes[i]
+                      for i in np.flatnonzero(mask).tolist()]
         node = self._pick_node(event, candidates)
         if node is None:
             return
@@ -622,8 +630,11 @@ class FaultController:
         self._notify(context, published)
 
     def _apply_straggler_off(self, context, event: FaultEvent, now: float) -> None:
+        cluster = self.sim.cluster
+        rows = cluster.state.nodes_view()
         node = self._pick_node(
-            event, [n for n in self.sim.cluster.nodes if n.speed_factor < 1.0])
+            event, [cluster.nodes[i]
+                    for i in np.flatnonzero(rows["speed"] < 1.0).tolist()])
         if node is None or not node.is_up:
             return
         node.set_speed(1.0)

@@ -6,18 +6,23 @@ the memory *reservations* (scheduler bookkeeping, i.e. granted heap sizes)
 are tracked separately from the *actual* footprints, which the simulator
 computes from ground truth — the gap between the two is exactly where
 mispredicted memory requirements cause paging or out-of-memory failures.
+
+Since the array-backed kernel core (:mod:`repro.cluster.state`), a node
+that belongs to a :class:`~repro.cluster.cluster.Cluster` is a thin view
+over one slot of the cluster's node array: the ``is_up``/``speed_factor``
+flags are dual-written (scalar for fast object reads, array column for
+vectorized scans) and the cached reservation aggregates are mirrored
+into the array by :meth:`Node._refresh`, so the engines' capacity
+accounting runs over columns while schedulers keep the object API.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 from repro.spark.executor import Executor
 
 __all__ = ["Node"]
 
 
-@dataclass
 class Node:
     """One compute server in the cluster.
 
@@ -34,39 +39,84 @@ class Node:
         Hardware threads available for task execution.
     """
 
-    node_id: int
-    ram_gb: float = 64.0
-    swap_gb: float = 16.0
-    cores: int = 16
-    executors: list[Executor] = field(default_factory=list)
-    #: Whether the node is currently part of the live cluster; failed or
-    #: decommissioned nodes stay in the topology (their id is stable) but
-    #: are skipped by every placement scan and admission test.
-    is_up: bool = True
-    #: Progress multiplier applied to every executor on this node; the
-    #: straggler fault model lowers it below 1.0 and restores it on
-    #: recovery.  Healthy nodes run at exactly 1.0.
-    speed_factor: float = 1.0
-    # Reservation aggregates are queried by schedulers many times per
-    # placement pass; they are cached and invalidated on membership changes
-    # and executor state transitions (executors notify their node).
-    _dirty: bool = field(default=True, init=False, repr=False, compare=False)
-    _active: list[Executor] = field(default_factory=list, init=False,
-                                    repr=False, compare=False)
-    _reserved_memory: float = field(default=0.0, init=False, repr=False,
-                                    compare=False)
-    _reserved_cpu: float = field(default=0.0, init=False, repr=False,
-                                 compare=False)
+    __slots__ = ("node_id", "ram_gb", "swap_gb", "cores", "executors",
+                 "_is_up", "_speed_factor", "_state", "_slot",
+                 "_dirty", "_active", "_apps",
+                 "_reserved_memory", "_reserved_cpu")
 
-    def __post_init__(self) -> None:
-        if self.ram_gb <= 0:
+    def __init__(self, node_id: int, ram_gb: float = 64.0,
+                 swap_gb: float = 16.0, cores: int = 16,
+                 executors: list[Executor] | None = None,
+                 is_up: bool = True, speed_factor: float = 1.0) -> None:
+        if ram_gb <= 0:
             raise ValueError("ram_gb must be positive")
-        if self.swap_gb < 0:
+        if swap_gb < 0:
             raise ValueError("swap_gb cannot be negative")
-        if self.cores < 1:
+        if cores < 1:
             raise ValueError("cores must be at least 1")
-        if self.speed_factor <= 0:
+        if speed_factor <= 0:
             raise ValueError("speed_factor must be positive")
+        self.node_id = node_id
+        self.ram_gb = ram_gb
+        self.swap_gb = swap_gb
+        self.cores = cores
+        self.executors: list[Executor] = (
+            list(executors) if executors is not None else [])
+        self._is_up = bool(is_up)
+        self._speed_factor = float(speed_factor)
+        # Array-slot view: set by ClusterState.adopt_node when the node
+        # joins a cluster; standalone nodes work purely off the scalars.
+        self._state = None
+        self._slot = None
+        # Reservation aggregates are queried by schedulers many times per
+        # placement pass; they are cached and invalidated on membership
+        # changes and executor state transitions (executors notify their
+        # node).
+        self._dirty = True
+        self._active: list[Executor] = []
+        self._apps: set[str] = set()
+        self._reserved_memory = 0.0
+        self._reserved_cpu = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Node(node_id={self.node_id}, ram_gb={self.ram_gb}, "
+                f"swap_gb={self.swap_gb}, cores={self.cores}, "
+                f"executors={self.executors}, is_up={self.is_up}, "
+                f"speed_factor={self.speed_factor})")
+
+    # ------------------------------------------------------------------
+    # Dual-written dynamic flags
+    # ------------------------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        """Whether the node is currently part of the live cluster.
+
+        Failed or decommissioned nodes stay in the topology (their id is
+        stable) but are skipped by every placement scan and admission
+        test.
+        """
+        return self._is_up
+
+    @is_up.setter
+    def is_up(self, value: bool) -> None:
+        self._is_up = bool(value)
+        if self._state is not None:
+            self._state._node["up"][self._slot] = self._is_up
+
+    @property
+    def speed_factor(self) -> float:
+        """Progress multiplier applied to every executor on this node.
+
+        The straggler fault model lowers it below 1.0 and restores it on
+        recovery.  Healthy nodes run at exactly 1.0.
+        """
+        return self._speed_factor
+
+    @speed_factor.setter
+    def speed_factor(self, value: float) -> None:
+        self._speed_factor = float(value)
+        if self._state is not None:
+            self._state._node["speed"][self._slot] = self._speed_factor
 
     # ------------------------------------------------------------------
     # Dynamic-cluster state transitions
@@ -98,27 +148,57 @@ class Node:
             raise ValueError("executor is destined for a different node")
         self.executors.append(executor)
         executor._node = self
-        self.invalidate_reservations()
+        if self._state is not None and executor._state is None:
+            self._state.adopt_executor(executor, self._slot)
+        if not self._dirty and executor.is_active:
+            # Appending an active executor to a clean node updates the
+            # cached aggregates incrementally.  This is bit-for-bit equal
+            # to the full recompute: python's sum() accumulates left to
+            # right and the newcomer sits at the end of the active list,
+            # so old_sum + budget IS the recomputed sum.  (Removals
+            # cannot be done this way — subtraction is not the exact
+            # inverse of sequential addition — and still invalidate.)
+            self._active.append(executor)
+            self._apps.add(executor.app_name)
+            self._reserved_memory += executor.memory_budget_gb
+            self._reserved_cpu += executor.cpu_demand
+            if self._state is not None:
+                row = self._state._node[self._slot]
+                row["reserved_mem_gb"] = self._reserved_memory
+                row["reserved_cpu"] = self._reserved_cpu
+                row["n_active"] = len(self._active)
+        else:
+            self.invalidate_reservations()
         self.rebalance_threads()
 
     def remove_executor(self, executor: Executor) -> None:
         """Remove an executor (finished or failed) from this node."""
         self.executors.remove(executor)
         executor._node = None
+        if executor._state is not None:
+            executor._state.evict_executor(executor)
         self.invalidate_reservations()
         self.rebalance_threads()
 
     def invalidate_reservations(self) -> None:
         """Drop the cached aggregates (membership or activity changed)."""
         self._dirty = True
+        if self._state is not None:
+            self._state.mark_node_dirty(self._slot)
 
     def _refresh(self) -> None:
         if not self._dirty:
             return
         self._active = [e for e in self.executors if e.is_active]
+        self._apps = {e.app_name for e in self._active}
         self._reserved_memory = sum(e.memory_budget_gb for e in self._active)
         self._reserved_cpu = sum(e.cpu_demand for e in self._active)
         self._dirty = False
+        if self._state is not None:
+            row = self._state._node[self._slot]
+            row["reserved_mem_gb"] = self._reserved_memory
+            row["reserved_cpu"] = self._reserved_cpu
+            row["n_active"] = len(self._active)
 
     def active_executors(self) -> list[Executor]:
         """Executors still running work on this node."""
@@ -128,7 +208,7 @@ class Node:
     def applications(self) -> set[str]:
         """Names of the applications with an active executor on this node."""
         self._refresh()
-        return {e.app_name for e in self._active}
+        return set(self._apps)
 
     def rebalance_threads(self) -> None:
         """Evenly distribute the node's cores across active executors.
@@ -137,7 +217,8 @@ class Node:
         executor so that co-running executors share processor cores evenly
         (Section 4.3).
         """
-        active = self.active_executors()
+        self._refresh()
+        active = self._active
         if not active:
             return
         share = max(1, self.cores // len(active))

@@ -31,6 +31,8 @@ wastes co-location opportunities.
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -199,11 +201,30 @@ class SchedulingContext:
         extraction / calibration) are not returned, mirroring the paper's
         flow where profiling happens while the task waits to be scheduled.
         """
+        sim = self._sim
+        if sim.kernel == "vector":
+            # Same scan, over the lazily compacted live-apps list
+            # (submission order with finished apps dropped in place), so
+            # long open-arrival runs do not rescan every past app.
+            ready = []
+            apps = sim._live_apps
+            write = 0
+            for app in apps:
+                if app.state is ApplicationState.FINISHED:
+                    continue
+                apps[write] = app
+                write += 1
+                if sim.ready_time[app.name] > self.now + 1e-9:
+                    continue
+                if app.unassigned_gb > 1e-6:
+                    ready.append(app)
+            del apps[write:]
+            return ready
         ready = []
-        for app in self._sim.submission_order:
+        for app in sim.submission_order:
             if app.state is ApplicationState.FINISHED:
                 continue
-            if self._sim.ready_time[app.name] > self.now + 1e-9:
+            if sim.ready_time[app.name] > self.now + 1e-9:
                 continue
             if app.unassigned_gb > 1e-6:
                 ready.append(app)
@@ -280,7 +301,8 @@ class ClusterSimulator:
                  seed: int | None = 0,
                  step_mode: str = "event",
                  rescan_min: float | None = None,
-                 faults: FaultSpec | None = None) -> None:
+                 faults: FaultSpec | None = None,
+                 kernel: str = "vector") -> None:
         if time_step_min <= 0:
             raise ValueError("time_step_min must be positive")
         if max_time_min <= 0:
@@ -288,7 +310,15 @@ class ClusterSimulator:
         if step_mode not in STEP_MODES:
             raise ValueError(f"step_mode must be one of {STEP_MODES}, "
                              f"got {step_mode!r}")
+        if kernel not in ("vector", "object"):
+            raise ValueError(f"kernel must be 'vector' or 'object', "
+                             f"got {kernel!r}")
         self.step_mode = step_mode
+        # How the engines run their per-epoch hot loops: "vector" (the
+        # default) reduces over the cluster's structured arrays, "object"
+        # keeps the historical per-object Python loops.  Both publish
+        # identical event streams (golden-trace pinned).
+        self.kernel = kernel
         self.rescan_min = rescan_min
         self.cluster = cluster
         self.scheduler = scheduler
@@ -315,10 +345,18 @@ class ClusterSimulator:
         self.specs: dict[str, BenchmarkSpec] = {}
         self.ready_time: dict[str, float] = {}
         self.submission_order: list[SparkApplication] = []
+        #: Submission index by app name (finalisation order for the
+        #: vector kernel's candidate-driven completion pass).
+        self.submission_index: dict[str, int] = {}
+        #: Submission-ordered apps with finished ones dropped lazily —
+        #: the vector kernel's scan set for rescan/waiting wake-points.
+        self._live_apps: list[SparkApplication] = []
+        #: Min-heap of (profiling-ready time, app name), lazy deletion.
+        self.profiling_heap: list[tuple[float, str]] = []
         # Jobs whose submission time has not been reached yet, ordered by
         # submission time (stable, so batch jobs keep their mix order).
         # The engines drain this queue as simulated time advances.
-        self.pending_jobs: list[Job] = []
+        self.pending_jobs: deque[Job] = deque()
         self._name_counts: dict[str, int] = {}
         # Data whose executor was killed by an out-of-memory error; it is
         # re-run in isolation on an idle node (paper Section 2.3) rather than
@@ -341,7 +379,7 @@ class ClusterSimulator:
         """
         while self.pending_jobs and (self.pending_jobs[0].submit_time_min
                                      <= now + 1e-9):
-            self._submit_job(self.pending_jobs.pop(0), context, now)
+            self._submit_job(self.pending_jobs.popleft(), context, now)
 
     def _submit_job(self, job: Job, context: "SchedulingContext",
                     now: float) -> None:
@@ -355,7 +393,9 @@ class ClusterSimulator:
                                submit_time=job.submit_time_min)
         self.apps[name] = app
         self.specs[name] = spec
+        self.submission_index[name] = len(self.submission_order)
         self.submission_order.append(app)
+        self._live_apps.append(app)
         self.events.publish(JobArrival(time=now, app=name,
                                        input_gb=job.input_gb,
                                        detail=f"input={job.input_gb:.1f}GB"))
@@ -364,6 +404,7 @@ class ClusterSimulator:
             delay = float(self.scheduler.on_submit(context, app) or 0.0)
         self.ready_time[name] = now + delay
         if delay > 0:
+            heapq.heappush(self.profiling_heap, (now + delay, name))
             app.state = ApplicationState.PROFILING
             self.events.record(now, EventKind.PROFILING_STARTED, app=name)
             self.events.record(now + delay, EventKind.PROFILING_FINISHED,
@@ -425,7 +466,8 @@ class ClusterSimulator:
                 self, self.faults.realize(self.rng))
         # Stable sort: simultaneous arrivals keep their mix order, so a
         # batch mix is submitted exactly as the seed submitted it.
-        self.pending_jobs = sorted(jobs, key=lambda job: job.submit_time_min)
+        self.pending_jobs = deque(sorted(jobs,
+                                         key=lambda job: job.submit_time_min))
 
         engine_kwargs = {}
         if self.step_mode == "event" and self.rescan_min is not None:
@@ -448,6 +490,8 @@ class ClusterSimulator:
         lost_hook = getattr(self.engine, "_on_executor_lost", None)
         if lost_hook is not None:
             self.events.unsubscribe(lost_hook)
+        if self.kernel == "vector" and self.engine is not None:
+            self.events.unsubscribe(self.engine._on_completion_event)
 
     def finish(self, now: float) -> SimulationResult:
         """Assemble the result of a run that ended at time ``now``."""

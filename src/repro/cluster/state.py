@@ -1,0 +1,255 @@
+"""Array-backed kernel state: the structured-array core of the cluster.
+
+Hot kernel state — node capacities, up/speed flags, reservation
+aggregates, executor placements and progress — lives in two NumPy
+structured arrays owned by :class:`ClusterState`.  :class:`~repro.cluster.node.Node`
+and :class:`~repro.spark.executor.Executor` are thin *views* over one
+array slot each: scalar reads and writes go through properties that hit
+the arrays, so the per-object API (and therefore the scheduler /
+Observation boundary) is unchanged while the engines' per-epoch hot
+loops (capacity accounting, progress advancement, wake-point scanning,
+utilization sampling) become vectorized operations over array columns.
+
+Ownership and invalidation rules (see ``docs/ARCHITECTURE.md``):
+
+* The :class:`~repro.cluster.cluster.Cluster` owns exactly one
+  ``ClusterState``; nodes and executors are *adopted* into it when they
+  join the cluster and *evicted* when they leave.
+* Executor slots are append-only — slot order equals spawn order equals
+  ``executor_id`` order — and compaction (:meth:`ClusterState.compact`)
+  preserves that order, so vectorized reductions over slots reproduce
+  the per-object iteration order bit for bit.
+* Node reservation aggregates are recomputed lazily: mutations mark a
+  node dirty and :meth:`refresh_dirty` re-runs the (order-preserving,
+  hence bit-exact) per-node Python sums only for dirty nodes.
+* Schedulers never see these arrays: they keep talking to ``Node`` /
+  ``SchedulingContext``, whose reads are backed by the same slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ClusterState", "NODE_DTYPE", "EXEC_DTYPE"]
+
+#: Per-node columns.  Static capacities are copied in at adoption;
+#: ``up``/``speed`` are dual-written by the Node mutators; the
+#: reservation aggregates are written by ``Node._refresh``.
+NODE_DTYPE = np.dtype([
+    ("ram_gb", np.float64),
+    ("swap_gb", np.float64),
+    ("cores", np.int64),
+    ("up", np.bool_),
+    ("speed", np.float64),
+    ("reserved_mem_gb", np.float64),
+    ("reserved_cpu", np.float64),
+    ("n_active", np.int64),
+])
+
+#: Per-executor columns.  ``assigned_gb``/``processed_gb`` are the
+#: authoritative store while an executor is adopted (the object's
+#: properties read them); ``active`` mirrors ``Executor.is_active`` and
+#: is maintained on every state transition; ``rate_gb_per_min`` /
+#: ``footprint_gb`` are engine-owned memo columns (``footprint_key_gb``
+#: is the assigned size the footprint was computed for — NaN means
+#: never filled, and any growth of the assigned share invalidates it).
+EXEC_DTYPE = np.dtype([
+    ("node_slot", np.int64),
+    ("cpu_demand", np.float64),
+    ("budget_gb", np.float64),
+    ("assigned_gb", np.float64),
+    ("processed_gb", np.float64),
+    ("rate_gb_per_min", np.float64),
+    ("footprint_gb", np.float64),
+    ("footprint_key_gb", np.float64),
+    ("active", np.bool_),
+    ("alive", np.bool_),
+])
+
+#: Compaction threshold: compact once this many dead slots accumulate
+#: *and* they outnumber the live ones (amortized O(1) per eviction).
+_COMPACT_MIN_DEAD = 64
+
+
+class ClusterState:
+    """The structured arrays behind one cluster's nodes and executors."""
+
+    __slots__ = ("_node", "n_nodes", "node_objs", "node_ids",
+                 "_exec", "n_execs", "exec_objs",
+                 "_n_dead", "_dirty_nodes")
+
+    def __init__(self, n_nodes_hint: int = 0) -> None:
+        self._node = np.zeros(max(int(n_nodes_hint), 4), NODE_DTYPE)
+        self.n_nodes = 0
+        #: Parallel list: ``node_objs[slot]`` is the Node viewing ``slot``.
+        self.node_objs: list = []
+        #: Parallel list of node ids (slot order), for sample batches.
+        self.node_ids: list[int] = []
+        self._exec = np.zeros(64, EXEC_DTYPE)
+        _nan_memo(self._exec, 0)
+        self.n_execs = 0
+        #: Parallel list: ``exec_objs[slot]`` is the Executor viewing
+        #: ``slot`` (``None`` for evicted slots awaiting compaction).
+        self.exec_objs: list = []
+        self._n_dead = 0
+        self._dirty_nodes: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Column views (capacity-trimmed)
+    # ------------------------------------------------------------------
+    def nodes_view(self) -> np.ndarray:
+        """The live node rows (a view, never a copy)."""
+        return self._node[:self.n_nodes]
+
+    def execs_view(self) -> np.ndarray:
+        """All executor rows up to the high-water slot (includes dead)."""
+        return self._exec[:self.n_execs]
+
+    def active_slots(self) -> np.ndarray:
+        """Slots of active executors, ascending (= spawn order)."""
+        return np.flatnonzero(self._exec["active"][:self.n_execs])
+
+    # ------------------------------------------------------------------
+    # Adoption / eviction
+    # ------------------------------------------------------------------
+    def adopt_node(self, node) -> int:
+        """Give ``node`` an array slot; returns the slot index."""
+        slot = self.n_nodes
+        if slot >= len(self._node):
+            self._node = _grown(self._node, slot + 1)
+        row = self._node[slot]
+        row["ram_gb"] = node.ram_gb
+        row["swap_gb"] = node.swap_gb
+        row["cores"] = node.cores
+        row["up"] = node.is_up
+        row["speed"] = node.speed_factor
+        self.node_objs.append(node)
+        self.node_ids.append(int(node.node_id))
+        self.n_nodes = slot + 1
+        node._state = self
+        node._slot = slot
+        node.invalidate_reservations()
+        for executor in node.executors:
+            if getattr(executor, "_state", None) is None:
+                self.adopt_executor(executor, slot)
+        return slot
+
+    def adopt_executor(self, executor, node_slot: int) -> int:
+        """Move an executor's scalars into a fresh array slot.
+
+        Adoption happens only between engine iterations (spawns occur in
+        scheduler invocations and fault application), so this is the one
+        safe point to compact away accumulated dead slots.
+        """
+        self.maybe_compact()
+        slot = self.n_execs
+        if slot >= len(self._exec):
+            old_capacity = len(self._exec)
+            self._exec = _grown(self._exec, slot + 1)
+            _nan_memo(self._exec, old_capacity)
+        # Memo columns need no per-adoption writes: every slot at or
+        # above ``n_execs`` is pre-filled with NaN (at allocation and by
+        # compact() for the reclaimed tail).
+        row = self._exec[slot]
+        row["node_slot"] = node_slot
+        row["cpu_demand"] = executor.cpu_demand
+        row["budget_gb"] = executor.memory_budget_gb
+        row["assigned_gb"] = executor._assigned_gb
+        row["processed_gb"] = executor._processed_gb
+        row["alive"] = True
+        self.exec_objs.append(executor)
+        self.n_execs = slot + 1
+        executor._state = self
+        executor._slot = slot
+        row["active"] = executor.is_active
+        return slot
+
+    def evict_executor(self, executor) -> None:
+        """Release an executor's slot, copying the array scalars back.
+
+        After eviction the object answers ``assigned_gb``/``processed_gb``
+        from its own attributes again, so post-removal accounting
+        (``SparkApplication.processed_gb`` sums over *all* executors,
+        including finished and failed ones) keeps working.
+        """
+        slot = executor._slot
+        executor._assigned_gb = float(self._exec["assigned_gb"][slot])
+        executor._processed_gb = float(self._exec["processed_gb"][slot])
+        executor._state = None
+        executor._slot = None
+        self._exec["alive"][slot] = False
+        self._exec["active"][slot] = False
+        self.exec_objs[slot] = None
+        self._n_dead += 1
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def maybe_compact(self) -> None:
+        """Compact when dead slots outnumber live ones (engine epoch top).
+
+        Never called mid-iteration: engines only invoke it at a point
+        where no slot indices are cached, because compaction renumbers
+        every live executor's slot.
+        """
+        if self._n_dead >= _COMPACT_MIN_DEAD and self._n_dead * 2 > self.n_execs:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop dead executor rows, preserving live slot order."""
+        if self._n_dead == 0:
+            return
+        keep = np.flatnonzero(self._exec["alive"][:self.n_execs])
+        n_live = int(keep.size)
+        self._exec[:n_live] = self._exec[keep]
+        self._exec["alive"][n_live:self.n_execs] = False
+        self._exec["active"][n_live:self.n_execs] = False
+        _nan_memo(self._exec[:self.n_execs], n_live)
+        live_objs = [self.exec_objs[slot] for slot in keep.tolist()]
+        for new_slot, executor in enumerate(live_objs):
+            executor._slot = new_slot
+        self.exec_objs = live_objs
+        self.n_execs = n_live
+        self._n_dead = 0
+
+    # ------------------------------------------------------------------
+    # Dirty-node tracking
+    # ------------------------------------------------------------------
+    def mark_node_dirty(self, slot: int) -> None:
+        """A node's reservation aggregates went stale."""
+        self._dirty_nodes.add(slot)
+
+    def refresh_dirty(self) -> None:
+        """Re-run the per-node refresh for every dirty node.
+
+        The refresh itself stays a Python sum in executor insertion
+        order — bit-for-bit what the per-object path computes — and
+        writes the aggregates into the node columns as a side effect.
+        """
+        if not self._dirty_nodes:
+            return
+        dirty, self._dirty_nodes = self._dirty_nodes, set()
+        node_objs = self.node_objs
+        for slot in dirty:
+            node_objs[slot]._refresh()
+
+
+def _nan_memo(array: np.ndarray, start: int) -> None:
+    """NaN-fill the engine memo columns of executor rows from ``start``.
+
+    NaN marks a memo slot as never filled; keeping unclaimed slots
+    pre-NaN'd lets :meth:`ClusterState.adopt_executor` skip three scalar
+    field writes on the spawn hot path.
+    """
+    for column in ("rate_gb_per_min", "footprint_gb", "footprint_key_gb"):
+        array[column][start:] = np.nan
+
+
+def _grown(array: np.ndarray, need: int) -> np.ndarray:
+    """Amortized-doubling reallocation of a structured array."""
+    capacity = len(array)
+    while capacity < need:
+        capacity *= 2
+    grown = np.zeros(capacity, array.dtype)
+    grown[:len(array)] = array
+    return grown

@@ -18,6 +18,10 @@ to a freshly built :class:`~repro.cluster.cluster.Cluster`:
 ``bigmem8``
     8 large machines with high core counts — few placement slots, deep
     co-location.
+``mega128`` / ``mega1024``
+    Paper-spec machines at fleet scale (128 and 1024 nodes) — the
+    platforms of the ``mega_*`` scenario tier, sized so the vectorized
+    array kernel is exercised at production node counts.
 
 Topologies are *recipes* (tuples of :class:`NodeSpec` groups), not shared
 cluster objects: every :func:`build_topology` call returns a fresh cluster,
@@ -91,6 +95,8 @@ TOPOLOGIES: dict[str, tuple[NodeSpec, ...]] = {
     ),
     "smallmem24": (NodeSpec(count=24, ram_gb=16.0, swap_gb=8.0, cores=8),),
     "bigmem8": (NodeSpec(count=8, ram_gb=256.0, swap_gb=64.0, cores=48),),
+    "mega128": (NodeSpec(count=128),),
+    "mega1024": (NodeSpec(count=1024),),
 }
 
 

@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 #: Seed of the offline profiling runs' observation noise.  Shared with the
-#: suite disk cache's fingerprint (:mod:`repro.experiments.suite_cache`),
+#: suite disk cache's fingerprint (:mod:`repro.api.cache`),
 #: so changing it invalidates cached trained models automatically.
 DEFAULT_TRAINING_SEED = 0
 

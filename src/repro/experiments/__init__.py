@@ -29,6 +29,5 @@ values for every experiment.
 """
 
 from repro.api import ScenarioResult, SchedulerSuite
-from repro.experiments.common import run_scenarios
 
-__all__ = ["SchedulerSuite", "ScenarioResult", "run_scenarios"]
+__all__ = ["SchedulerSuite", "ScenarioResult"]

@@ -386,8 +386,23 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--faults only applies to --scenario mode")
 
     if args.list_scenarios:
+        from repro.cluster.topologies import topology_specs
+
+        tiers: dict[str, list[str]] = {"standard": [], "mega": []}
         for name in scenario_names():
-            print(f"  {name:24s} {SCENARIO_REGISTRY[name].description}")
+            tiers["mega" if name.startswith("mega_") else "standard"].append(name)
+        for tier, label in (("standard", "Standard tier (paper-scale)"),
+                            ("mega", "Mega tier (fleet-scale, array kernel)")):
+            if not tiers[tier]:
+                continue
+            print(f"{label}:")
+            for name in tiers[tier]:
+                spec = SCENARIO_REGISTRY[name]
+                n_jobs = spec.n_apps if spec.n_apps is not None else len(spec.jobs)
+                n_nodes = sum(group.count
+                              for group in topology_specs(spec.topology))
+                print(f"  {name:18s} {n_jobs:>6d} jobs  {n_nodes:>5d} nodes  "
+                      f"{spec.description}")
         return 0
 
     if args.list_schemes:

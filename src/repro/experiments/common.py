@@ -1,36 +1,31 @@
-"""Legacy shared infrastructure for the scheduling experiments.
+"""Shared names for the figure/table experiment drivers.
 
-.. deprecated::
-    The experiment engine moved to :mod:`repro.api` — build an
-    :class:`~repro.api.ExperimentPlan` and execute it through a
-    :class:`~repro.api.Session` (``session.run(plan)`` for the old
-    barrier semantics, ``session.stream(plan)`` for typed per-cell
-    results as they complete).  Scheme names are resolved through the
-    plugin registry (:mod:`repro.scheduling.registry`), so third-party
-    policies register themselves instead of editing this module.
+The experiment engine itself lives in :mod:`repro.api` — build an
+:class:`~repro.api.ExperimentPlan` and execute it through a
+:class:`~repro.api.Session` (``session.run(plan)`` for barrier
+semantics, ``session.stream(plan)`` for typed per-cell results as they
+complete).  Scheme names resolve through the plugin registry
+(:mod:`repro.scheduling.registry`), so third-party policies register
+themselves instead of editing this module.
 
-This module remains as a compatibility shim: :func:`run_scenarios`
-reproduces its historical behaviour — including bit-for-bit identical
-:class:`~repro.api.ScenarioResult` aggregates — on top of the new
-session layer, and the old names (:class:`SchedulerSuite`,
-:class:`ScenarioResult`, :class:`HorizonTruncationError`,
-``DEFAULT_SCENARIOS``, ``overall_geomean``) re-export from
-:mod:`repro.api`.  ``KNOWN_SCHEMES`` is now a live view of the scheme
-registry rather than a hardcoded tuple.
+What remains here are the aliases the figure drivers share
+(:class:`SchedulerSuite`, :class:`ScenarioResult`,
+:class:`HorizonTruncationError`, ``DEFAULT_SCENARIOS``,
+``overall_geomean``) plus ``KNOWN_SCHEMES``, a live view of the scheme
+registry.  The deprecated ``run_scenarios`` barrier shim has been
+retired; call the session API directly.
 """
 
 from __future__ import annotations
 
-import warnings
-
-from repro.api.plan import DEFAULT_SCENARIOS, ExperimentPlan
+from repro.api.plan import DEFAULT_SCENARIOS
 from repro.api.results import ScenarioResult, overall_geomean
-from repro.api.session import HorizonTruncationError, Session
+from repro.api.session import HorizonTruncationError
 from repro.api.suite import SchedulerSuite
 from repro.scheduling.registry import scheme_names
 
-__all__ = ["SchedulerSuite", "ScenarioResult", "run_scenarios",
-           "DEFAULT_SCENARIOS", "HorizonTruncationError", "overall_geomean"]
+__all__ = ["SchedulerSuite", "ScenarioResult", "DEFAULT_SCENARIOS",
+           "HorizonTruncationError", "overall_geomean"]
 
 
 def __getattr__(name: str):
@@ -39,38 +34,3 @@ def __getattr__(name: str):
     if name == "KNOWN_SCHEMES":
         return scheme_names()
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def run_scenarios(schemes, scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3,
-                  seed: int = 11, time_step_min: float = 0.5,
-                  suite: SchedulerSuite | None = None,
-                  engine: str = "event",
-                  workers: int = 1) -> list[ScenarioResult]:
-    """Run the full scenario × mix × scheme grid and aggregate per scenario.
-
-    .. deprecated::
-        Thin wrapper over :class:`repro.api.Session`; prefer::
-
-            plan = ExperimentPlan(schemes=schemes, scenarios=scenarios, ...)
-            with Session() as session:
-                results = session.run(plan)
-
-    Scheme and scenario names are validated eagerly — an unknown scheme
-    raises :class:`repro.scheduling.registry.UnknownSchemeError` (listing
-    the registered names) before any training or simulation starts, and
-    duplicate scheme or scenario entries, which the pre-API runner
-    silently turned into repeated rows, are now rejected with
-    :class:`~repro.api.PlanError`.  For every input that passes
-    validation the output is unchanged: the same :class:`ScenarioResult`
-    rows, bit-for-bit, in scenario-major order.
-    """
-    warnings.warn(
-        "run_scenarios() is deprecated; build a repro.api.ExperimentPlan "
-        "and execute it with repro.api.Session.run() or .stream()",
-        DeprecationWarning, stacklevel=2)
-    plan = ExperimentPlan(schemes=tuple(schemes), scenarios=scenarios,
-                          n_mixes=n_mixes, seed=seed,
-                          time_step_min=time_step_min, engine=engine,
-                          workers=workers)
-    with Session(suite=suite, use_cache=False) as session:
-        return session.run(plan)

@@ -35,7 +35,7 @@ class UtilizationResult:
     turnaround_min: float
     mean_utilization_percent: float
     bin_times_min: tuple[float, ...]
-    utilization_matrix: np.ndarray  # shape (n_nodes, n_bins), percent
+    heatmap: np.ndarray  # shape (n_nodes, n_bins), percent
 
 
 def run(suite: SchedulerSuite | None = None, schemes=SCHEMES,
@@ -70,7 +70,7 @@ def run(suite: SchedulerSuite | None = None, schemes=SCHEMES,
             turnaround_min=evaluation.makespan_min,
             mean_utilization_percent=evaluation.mean_utilization_percent,
             bin_times_min=tuple(float(t) for t in times),
-            utilization_matrix=matrix,
+            heatmap=matrix,
         ))
     return results
 
@@ -87,7 +87,7 @@ def format_table(results: list[UtilizationResult]) -> str:
     lines.append("")
     lines.append("Figure 7 — cluster-average utilisation over time (percent per time bin):")
     for result in results:
-        profile = result.utilization_matrix.mean(axis=0)
+        profile = result.heatmap.mean(axis=0)
         compact = " ".join(f"{v:3.0f}" for v in profile[:24])
         lines.append(f"{result.scheme:>10s} {compact}")
     return "\n".join(lines)

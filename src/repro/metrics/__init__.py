@@ -29,7 +29,6 @@ from repro.metrics.utilization import (
     StreamingUtilization,
     StreamingUtilizationHeatmap,
     downsample_trace,
-    utilization_matrix,
 )
 from repro.metrics.slowdown import parsec_colocation_slowdown_percent, slowdown_percent
 
@@ -45,7 +44,6 @@ __all__ = [
     "StreamingUtilization",
     "StreamingUtilizationHeatmap",
     "downsample_trace",
-    "utilization_matrix",
     "slowdown_percent",
     "parsec_colocation_slowdown_percent",
 ]

@@ -13,27 +13,20 @@ consumes that stream:
   width), so memory stays O(nodes × bins) regardless of simulation
   length.
 
-The post-hoc helpers :func:`downsample_trace` / :func:`utilization_matrix`
-still operate on fully recorded traces; :func:`utilization_matrix` is
-deprecated now that the streaming heat map covers its one consumer.
+The post-hoc helper :func:`downsample_trace` still operates on fully
+recorded traces; the deprecated trace-matrix builder it used to feed has
+been retired now that the streaming heat map covers its one consumer.
 """
 
 from __future__ import annotations
-
-import warnings
-from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.cluster.events import EventKind
 from repro.cluster.resource_monitor import StreamingUtilization
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.cluster.simulator import SimulationResult
-
 __all__ = [
     "downsample_trace",
-    "utilization_matrix",
     "StreamingUtilization",
     "StreamingUtilizationHeatmap",
 ]
@@ -48,44 +41,6 @@ def downsample_trace(trace, n_bins: int) -> np.ndarray:
         return np.zeros(n_bins)
     chunks = np.array_split(trace, n_bins)
     return np.array([chunk.mean() if chunk.size else 0.0 for chunk in chunks])
-
-
-def utilization_matrix(result: "SimulationResult",
-                       n_bins: int = 48) -> tuple[np.ndarray, np.ndarray]:
-    """Build the Figure 7 heat-map data from recorded traces.
-
-    .. deprecated::
-        Requires full per-step traces (O(steps × nodes) memory).  Attach
-        a :class:`StreamingUtilizationHeatmap` to the simulator's event
-        bus instead; it produces the same nodes × bins heat map with
-        bounded memory and no post-hoc pass.
-
-    Returns
-    -------
-    (bin_times_min, matrix):
-        ``bin_times_min`` is the representative time of each bin;
-        ``matrix[node, bin]`` is the average CPU utilisation (%) of that
-        node during that bin.
-    """
-    warnings.warn(
-        "utilization_matrix() is deprecated: it needs full recorded traces; "
-        "attach repro.metrics.StreamingUtilizationHeatmap to the simulator's "
-        "event bus for a bounded-memory equivalent",
-        DeprecationWarning, stacklevel=2)
-    if not result.utilization_trace:
-        raise ValueError("the simulation did not record utilisation traces")
-    node_ids = sorted(result.utilization_trace)
-    matrix = np.vstack([
-        downsample_trace(result.utilization_trace[node_id], n_bins)
-        for node_id in node_ids
-    ])
-    times = np.asarray(result.utilization_times, dtype=float)
-    if times.size:
-        bin_times = np.array([chunk.mean() if chunk.size else 0.0
-                              for chunk in np.array_split(times, n_bins)])
-    else:
-        bin_times = np.zeros(n_bins)
-    return bin_times, matrix
 
 
 class StreamingUtilizationHeatmap:

@@ -130,6 +130,55 @@ SCENARIO_REGISTRY: dict[str, ScenarioSpec] = {
                     "preempted ~10 times per hour and their work is "
                     "redistributed",
     ),
+    # ------------------------------------------------------------------
+    # Mega tier: fleet-scale scenarios for the vectorized array kernel
+    # (10k+ jobs, 1k+ nodes, diurnal arrivals, churn).  The CI slice is
+    # the same shape at a size a CI runner can afford every PR.
+    # ------------------------------------------------------------------
+    "mega_ci_1k": ScenarioSpec(
+        name="mega_ci_1k",
+        n_apps=1_000,
+        arrival=ArrivalSpec(kind="diurnal", rate_per_min=1.0),
+        topology="mega128",
+        faults=FaultSpec(node_failure_rate_per_hour=4.0,
+                         node_recovery_min=60.0,
+                         straggler_rate_per_hour=2.0,
+                         straggler_slowdown=0.5,
+                         straggler_duration_min=45.0,
+                         horizon_min=2_000.0),
+        description="CI slice of the mega tier: 1k jobs over a diurnal "
+                    "curve on 128 churning paper-spec nodes",
+    ),
+    "mega_diurnal_10k": ScenarioSpec(
+        name="mega_diurnal_10k",
+        n_apps=10_000,
+        arrival=ArrivalSpec(kind="diurnal", rate_per_min=1.0),
+        topology="mega1024",
+        faults=FaultSpec(node_failure_rate_per_hour=12.0,
+                         node_recovery_min=60.0,
+                         straggler_rate_per_hour=6.0,
+                         straggler_slowdown=0.5,
+                         straggler_duration_min=45.0,
+                         horizon_min=20_000.0),
+        description="10k jobs over a replayed week of diurnal load on "
+                    "1024 churning paper-spec nodes — the throughput-"
+                    "benchmark tier",
+    ),
+    "mega_diurnal_50k": ScenarioSpec(
+        name="mega_diurnal_50k",
+        n_apps=50_000,
+        arrival=ArrivalSpec(kind="diurnal", rate_per_min=5.0),
+        topology="mega1024",
+        faults=FaultSpec(node_failure_rate_per_hour=12.0,
+                         node_recovery_min=60.0,
+                         straggler_rate_per_hour=6.0,
+                         straggler_slowdown=0.5,
+                         straggler_duration_min=45.0,
+                         horizon_min=20_000.0),
+        description="50k jobs at five times the mega arrival rate on "
+                    "1024 churning paper-spec nodes — the stress end of "
+                    "the mega tier",
+    ),
 }
 
 

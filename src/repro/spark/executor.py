@@ -6,12 +6,19 @@ executor granularity: it spawns additional executors on nodes with spare
 memory, sizes their heap using the predicted memory function, and adjusts
 the number of task threads so co-running executors share the node's cores
 evenly (Section 4.3).
+
+Since the array-backed kernel core (:mod:`repro.cluster.state`), an
+executor placed on a cluster node is a thin *view* over one slot of the
+cluster's executor array: ``assigned_gb`` and ``processed_gb`` live in
+the array while the executor is adopted (so the engines can advance
+progress for thousands of executors with one vectorized expression) and
+are copied back to plain attributes when it leaves the cluster.  The
+public API is unchanged either way.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 
 __all__ = ["ExecutorState", "Executor"]
@@ -28,7 +35,6 @@ class ExecutorState(str, Enum):
     KILLED = "killed"
 
 
-@dataclass
 class Executor:
     """One executor process placed on a node.
 
@@ -50,29 +56,81 @@ class Executor:
         executors join or leave a node.
     """
 
-    app_name: str
-    node_id: int
-    memory_budget_gb: float
-    assigned_gb: float
-    cpu_demand: float
-    threads: int = 1
-    executor_id: int = field(default_factory=lambda: next(_EXECUTOR_IDS))
-    processed_gb: float = 0.0
-    state: ExecutorState = ExecutorState.RUNNING
-    # Back-reference to the hosting Node, set by Node.add_executor; state
-    # transitions notify it so the node's cached reservation aggregates
-    # stay coherent without rescanning executors on every query.
-    _node: object = field(default=None, init=False, repr=False, compare=False)
+    __slots__ = ("app_name", "node_id", "memory_budget_gb", "cpu_demand",
+                 "threads", "executor_id", "state",
+                 "_assigned_gb", "_processed_gb", "_node", "_state", "_slot")
 
-    def __post_init__(self) -> None:
-        if self.memory_budget_gb <= 0:
+    def __init__(self, app_name: str, node_id: int, memory_budget_gb: float,
+                 assigned_gb: float, cpu_demand: float, threads: int = 1,
+                 executor_id: int | None = None, processed_gb: float = 0.0,
+                 state: ExecutorState = ExecutorState.RUNNING) -> None:
+        if memory_budget_gb <= 0:
             raise ValueError("memory_budget_gb must be positive")
-        if self.assigned_gb < 0:
+        if assigned_gb < 0:
             raise ValueError("assigned_gb cannot be negative")
-        if not 0 < self.cpu_demand <= 1.0:
+        if not 0 < cpu_demand <= 1.0:
             raise ValueError("cpu_demand must be in (0, 1]")
-        if self.threads < 1:
+        if threads < 1:
             raise ValueError("threads must be at least 1")
+        self.app_name = app_name
+        self.node_id = node_id
+        self.memory_budget_gb = memory_budget_gb
+        self.cpu_demand = cpu_demand
+        self.threads = threads
+        self.executor_id = (next(_EXECUTOR_IDS) if executor_id is None
+                            else executor_id)
+        self.state = state
+        self._assigned_gb = assigned_gb
+        self._processed_gb = processed_gb
+        # Back-reference to the hosting Node, set by Node.add_executor;
+        # state transitions notify it so the node's cached reservation
+        # aggregates stay coherent without rescanning executors on every
+        # query.
+        self._node = None
+        # Array-slot view: set by ClusterState.adopt_executor while the
+        # executor is placed on a cluster node, cleared at eviction.
+        self._state = None
+        self._slot = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Executor(app_name={self.app_name!r}, "
+                f"node_id={self.node_id}, "
+                f"memory_budget_gb={self.memory_budget_gb}, "
+                f"assigned_gb={self.assigned_gb}, "
+                f"cpu_demand={self.cpu_demand}, threads={self.threads}, "
+                f"executor_id={self.executor_id}, "
+                f"processed_gb={self.processed_gb}, state={self.state})")
+
+    # ------------------------------------------------------------------
+    # Array-backed scalars
+    # ------------------------------------------------------------------
+    @property
+    def assigned_gb(self) -> float:
+        """Input data this executor is responsible for."""
+        if self._state is not None:
+            return float(self._state._exec["assigned_gb"][self._slot])
+        return self._assigned_gb
+
+    @assigned_gb.setter
+    def assigned_gb(self, value: float) -> None:
+        if self._state is not None:
+            self._state._exec["assigned_gb"][self._slot] = value
+        else:
+            self._assigned_gb = value
+
+    @property
+    def processed_gb(self) -> float:
+        """Input data already processed."""
+        if self._state is not None:
+            return float(self._state._exec["processed_gb"][self._slot])
+        return self._processed_gb
+
+    @processed_gb.setter
+    def processed_gb(self, value: float) -> None:
+        if self._state is not None:
+            self._state._exec["processed_gb"][self._slot] = value
+        else:
+            self._processed_gb = value
 
     @property
     def remaining_gb(self) -> float:
@@ -96,6 +154,8 @@ class Executor:
 
     def _notify_node(self) -> None:
         """Tell the hosting node (if any) that activity state changed."""
+        if self._state is not None:
+            self._state._exec["active"][self._slot] = self.is_active
         if self._node is not None:
             self._node.invalidate_reservations()
 

@@ -1,33 +1,14 @@
-"""Tests for the trained-suite disk cache."""
+"""Tests for the trained-suite disk cache (:mod:`repro.api.cache`)."""
 
-import importlib
 import pickle
-import warnings
 
-import pytest
-
-with warnings.catch_warnings():
-    # The shim module warns on import by design; the warning itself is
-    # asserted in TestDeprecation below.
-    warnings.simplefilter("ignore", DeprecationWarning)
-    from repro.experiments import suite_cache
-    from repro.experiments.suite_cache import (
-        CACHE_VERSION,
-        load_or_train_suite,
-        suite_cache_path,
-        suite_fingerprint,
-    )
-
-
-class TestDeprecation:
-    def test_importing_the_shim_warns(self):
-        with pytest.warns(DeprecationWarning, match="suite_cache is deprecated"):
-            importlib.reload(suite_cache)
-
-    def test_shim_still_re_exports_the_api_helpers(self):
-        from repro.api.cache import load_or_train_suite as canonical
-
-        assert suite_cache.load_or_train_suite is canonical
+from repro.api import cache as cache_module
+from repro.api.cache import (
+    CACHE_VERSION,
+    load_or_train_suite,
+    suite_fingerprint,
+    suite_path,
+)
 
 
 class TestFingerprint:
@@ -35,7 +16,7 @@ class TestFingerprint:
         assert suite_fingerprint() == suite_fingerprint()
 
     def test_cache_path_embeds_fingerprint(self, tmp_path):
-        path = suite_cache_path(tmp_path)
+        path = suite_path(tmp_path)
         assert path.parent == tmp_path
         assert suite_fingerprint()[:16] in path.name
 
@@ -44,7 +25,7 @@ class TestLoadOrTrain:
     def test_miss_trains_and_writes(self, tmp_path):
         suite = load_or_train_suite(cache_dir=tmp_path)
         assert suite.is_trained()
-        assert suite_cache_path(tmp_path).is_file()
+        assert suite_path(tmp_path).is_file()
 
     def test_hit_skips_training(self, tmp_path, monkeypatch):
         first = load_or_train_suite(cache_dir=tmp_path)
@@ -52,7 +33,7 @@ class TestLoadOrTrain:
         def boom():
             raise AssertionError("cache hit must not retrain")
 
-        monkeypatch.setattr(suite_cache.SchedulerSuite, "ensure_trained",
+        monkeypatch.setattr(cache_module.SchedulerSuite, "ensure_trained",
                             lambda self, schemes=None: boom())
         second = load_or_train_suite(cache_dir=tmp_path)
         assert second.is_trained()
@@ -63,10 +44,10 @@ class TestLoadOrTrain:
     def test_no_cache_never_reads_or_writes(self, tmp_path):
         suite = load_or_train_suite(cache_dir=tmp_path, use_cache=False)
         assert suite.is_trained()
-        assert not suite_cache_path(tmp_path).exists()
+        assert not suite_path(tmp_path).exists()
 
     def test_corrupt_cache_falls_back_to_training(self, tmp_path):
-        path = suite_cache_path(tmp_path)
+        path = suite_path(tmp_path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(b"not a pickle")
         suite = load_or_train_suite(cache_dir=tmp_path)
@@ -79,7 +60,7 @@ class TestLoadOrTrain:
 
     def test_stale_fingerprint_forces_retrain(self, tmp_path):
         load_or_train_suite(cache_dir=tmp_path)
-        path = suite_cache_path(tmp_path)
+        path = suite_path(tmp_path)
         with path.open("rb") as handle:
             payload = pickle.load(handle)
         payload["fingerprint"] = "0" * 64
@@ -90,7 +71,7 @@ class TestLoadOrTrain:
 
     def test_env_var_overrides_default_dir(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
-        assert suite_cache_path().parent == tmp_path / "custom"
+        assert suite_path().parent == tmp_path / "custom"
 
     def test_cached_suite_predicts_like_fresh_training(self, tmp_path):
         cached = load_or_train_suite(cache_dir=tmp_path)

@@ -1,0 +1,106 @@
+"""The documented public surface and the code cannot drift apart.
+
+``docs/API.md`` is the contract: a name is public iff it sits in one of
+its tables, equivalently in the ``__all__`` of ``repro``, ``repro.api``
+or ``repro.env``.  These tests import every documented name and check
+set-equality in both directions, so deleting an export, forgetting to
+document one, or documenting a ghost all fail loudly.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+API_MD = Path(__file__).resolve().parents[2] / "docs" / "API.md"
+
+#: The three modules whose ``__all__`` is the public surface.
+PUBLIC_MODULES = ("repro", "repro.api", "repro.env")
+
+_HEADING = re.compile(r"^## `(repro(?:\.\w+)?)`")
+_NAME = re.compile(r"`(__?[a-z]\w*__|[A-Za-z]\w*)`")
+
+
+def documented_names() -> dict:
+    """Parse docs/API.md into {module: set of documented names}."""
+    tables: dict = {module: set() for module in PUBLIC_MODULES}
+    current = None
+    for line in API_MD.read_text().splitlines():
+        heading = _HEADING.match(line)
+        if heading:
+            current = heading.group(1)
+            continue
+        if line.startswith("## "):
+            current = None  # e.g. "Retired surfaces"
+            continue
+        if current is None or not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1]
+        if set(first_cell.strip()) <= {"-", " "} or first_cell.strip() == "Name":
+            continue
+        tables[current].update(_NAME.findall(first_cell))
+    return tables
+
+
+@pytest.fixture(scope="module")
+def docs() -> dict:
+    assert API_MD.exists(), "docs/API.md is missing"
+    return documented_names()
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+class TestPublicSurface:
+    def test_every_documented_name_imports(self, docs, module_name):
+        module = importlib.import_module(module_name)
+        missing = [name for name in sorted(docs[module_name])
+                   if not hasattr(module, name)]
+        assert not missing, (
+            f"docs/API.md documents names {module_name} does not provide: {missing}")
+
+    def test_docs_match_all_exactly(self, docs, module_name):
+        module = importlib.import_module(module_name)
+        exported = set(module.__all__)
+        documented = docs[module_name]
+        assert documented - exported == set(), (
+            f"documented but not in {module_name}.__all__")
+        assert exported - documented == set(), (
+            f"in {module_name}.__all__ but undocumented in docs/API.md")
+
+    def test_all_entries_are_unique(self, docs, module_name):
+        module = importlib.import_module(module_name)
+        assert len(module.__all__) == len(set(module.__all__))
+
+
+class TestTopLevelLaziness:
+    def test_star_import_resolves_everything(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)  # noqa: S102 - the point of the test
+        import repro
+
+        for name in repro.__all__:
+            assert name in namespace or name.startswith("__")
+
+    def test_lazy_attribute_is_cached_and_identical(self):
+        import sys
+
+        sys.modules.pop("repro", None)
+        import repro
+        from repro.api import Session
+
+        assert repro.Session is Session
+        assert "Session" in vars(repro)  # cached after first access
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError, match="no_such_export"):
+            repro.no_such_export
+
+    def test_dir_lists_lazy_exports(self):
+        import importlib as il
+        import repro
+
+        il.reload(repro)  # drop any cached lazy attributes
+        assert "ExperimentPlan" in dir(repro)
+        assert "SchedulingEnv" in dir(repro)

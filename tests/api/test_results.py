@@ -129,26 +129,29 @@ class TestFoldCells:
         assert fold_cells(shuffled) == fold_cells(ordered)
 
 
-class TestShimParity:
-    """The deprecated run_scenarios must match Session.run bit-for-bit."""
+class TestRetiredShims:
+    """The PR 3/4 deprecation shims are gone, not silently aliased."""
 
-    def test_shim_is_deprecated_but_identical(self):
-        from repro.experiments.common import run_scenarios
+    def test_run_scenarios_is_retired(self):
+        import repro.experiments.common as common
 
-        plan = ExperimentPlan(schemes=("pairwise", "oracle"),
-                              scenarios=("L1",), n_mixes=2)
-        with Session(use_cache=False) as session:
-            via_api = session.run(plan)
-        with pytest.warns(DeprecationWarning, match="run_scenarios"):
-            via_shim = run_scenarios(("pairwise", "oracle"),
-                                     scenarios=("L1",), n_mixes=2)
-        assert via_shim == via_api
+        with pytest.raises(AttributeError):
+            common.run_scenarios
 
-    def test_shim_validates_schemes_eagerly(self):
-        from repro.experiments.common import run_scenarios
+    def test_suite_cache_module_is_retired(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.experiments.suite_cache  # noqa: F401
+
+    def test_utilization_matrix_is_retired(self):
+        import repro.metrics.utilization as utilization
+
+        with pytest.raises(AttributeError):
+            utilization.utilization_matrix
+
+    def test_plan_validates_schemes_eagerly(self):
         from repro.scheduling.registry import UnknownSchemeError
 
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(UnknownSchemeError,
-                               match="unknown schemes: warp_drive"):
-                run_scenarios(("warp_drive",), scenarios=("L1",), n_mixes=1)
+        with pytest.raises(UnknownSchemeError,
+                           match="unknown schemes: warp_drive"):
+            ExperimentPlan(schemes=("warp_drive",), scenarios=("L1",),
+                           n_mixes=1)

@@ -202,10 +202,10 @@ class TestTrainingOwnership:
             assert session.suite.materialised() == frozenset()
 
     def test_untrained_suite_satisfied_from_disk_cache(self, tmp_path):
-        from repro.api import load_or_train_suite, suite_cache_path
+        from repro.api import load_or_train_suite, suite_path
 
         load_or_train_suite(cache_dir=tmp_path)  # warm the cache
-        assert suite_cache_path(tmp_path).is_file()
+        assert suite_path(tmp_path).is_file()
         with Session(cache_dir=tmp_path) as session:
             session.ensure_trained(["ours"])
             assert "moe" in session.suite.materialised()

@@ -4,19 +4,22 @@ import pytest
 
 
 @pytest.fixture
-def deprecated_run_scenarios():
-    """The legacy ``run_scenarios`` shim, with its deprecation asserted.
+def run_grid():
+    """Run a scenario × scheme grid through the public session API.
 
-    The suite runs with the repro deprecation messages escalated to
-    errors (see ``filterwarnings`` in ``pyproject.toml``), so every use
-    of the shim must go through this wrapper: it *asserts* the
-    :class:`DeprecationWarning` instead of merely tolerating it, and it
-    keeps the call sites one-line.
+    The one-line counterpart of the retired ``run_scenarios`` barrier
+    call: builds an :class:`repro.api.ExperimentPlan` from the same
+    keyword surface and executes it in a throwaway, cache-free
+    :class:`repro.api.Session`, returning the aggregated
+    :class:`repro.api.ScenarioResult` rows.
     """
-    from repro.experiments.common import run_scenarios
+    from repro.api import ExperimentPlan, Session
 
-    def call(*args, **kwargs):
-        with pytest.warns(DeprecationWarning, match="run_scenarios"):
-            return run_scenarios(*args, **kwargs)
+    def call(schemes, *, scenarios=None, suite=None, **plan_kwargs):
+        if scenarios is not None:
+            plan_kwargs["scenarios"] = scenarios
+        plan = ExperimentPlan(schemes=tuple(schemes), **plan_kwargs)
+        with Session(suite=suite, use_cache=False) as session:
+            return session.run(plan)
 
     return call

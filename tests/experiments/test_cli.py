@@ -49,6 +49,18 @@ class TestScenarioMode:
         out = capsys.readouterr().out
         assert "L10" in out and "poisson_hetero_demo" in out
 
+    def test_list_scenarios_groups_tiers_with_sizes(self, capsys):
+        assert cli.main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        standard, _, mega = out.partition("Mega tier")
+        # The mega tier is its own labelled group, after the standard one.
+        assert "Standard tier" in standard and mega
+        for name in ("mega_ci_1k", "mega_diurnal_10k", "mega_diurnal_50k"):
+            assert name in mega and name not in standard
+        # Per-scenario job and node counts are printed on each line.
+        assert "10000 jobs" in mega and "1024 nodes" in mega
+        assert "2 jobs" in standard and "40 nodes" in standard
+
     def test_runs_named_scenario_with_untrained_schemes(self, capsys):
         # Oracle and pairwise need no offline training, so this exercises
         # the full scenario path without touching the model cache.

@@ -1,8 +1,7 @@
-"""Tests for the multiprocess experiment grid runner (legacy shim).
+"""Tests for the multiprocess experiment grid runner.
 
-Every call goes through the ``deprecated_run_scenarios`` fixture, which
-asserts the shim's :class:`DeprecationWarning` — the suite escalates the
-repro deprecation messages to errors, so an unwrapped call would fail.
+Every call goes through the ``run_grid`` fixture, the public-API
+counterpart of the retired ``run_scenarios`` barrier shim.
 """
 
 import pytest
@@ -16,35 +15,35 @@ def suite():
 
 
 class TestParallelRunner:
-    def test_workers_must_be_positive(self, suite, deprecated_run_scenarios):
+    def test_workers_must_be_positive(self, suite, run_grid):
         with pytest.raises(ValueError):
-            deprecated_run_scenarios(("oracle",), scenarios=("L1",),
+            run_grid(("oracle",), scenarios=("L1",),
                                      n_mixes=1, suite=suite, workers=0)
 
     def test_parallel_grid_matches_sequential(self, suite,
-                                              deprecated_run_scenarios):
+                                              run_grid):
         # "ours" depends on the suite's trained mixture of experts, so this
         # also pins that workers receive the caller's suite (models and
         # all), not a retrained default.
         kwargs = dict(scenarios=("L1",), n_mixes=2, suite=suite)
-        sequential = deprecated_run_scenarios(("pairwise", "ours"),
+        sequential = run_grid(("pairwise", "ours"),
                                               workers=1, **kwargs)
-        parallel = deprecated_run_scenarios(("pairwise", "ours"),
+        parallel = run_grid(("pairwise", "ours"),
                                             workers=2, **kwargs)
         assert parallel == sequential
 
     def test_engines_produce_identical_grid_results(self, suite,
-                                                    deprecated_run_scenarios):
+                                                    run_grid):
         kwargs = dict(scenarios=("L1",), n_mixes=1, suite=suite)
-        fixed = deprecated_run_scenarios(("pairwise",), engine="fixed",
+        fixed = run_grid(("pairwise",), engine="fixed",
                                          **kwargs)
-        event = deprecated_run_scenarios(("pairwise",), engine="event",
+        event = run_grid(("pairwise",), engine="event",
                                          **kwargs)
         assert event == fixed
 
     def test_row_order_is_scenario_major(self, suite,
-                                         deprecated_run_scenarios):
-        results = deprecated_run_scenarios(("pairwise", "oracle"),
+                                         run_grid):
+        results = run_grid(("pairwise", "oracle"),
                                            scenarios=("L1", "L2"), n_mixes=1,
                                            suite=suite)
         assert [(r.scenario, r.scheme) for r in results] == [

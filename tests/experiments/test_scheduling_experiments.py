@@ -17,8 +17,8 @@ class TestCommonRunner:
             suite.factory("magic")
 
     def test_run_scenarios_aggregates_per_scheme(self, suite,
-                                                 deprecated_run_scenarios):
-        results = deprecated_run_scenarios(("pairwise", "oracle"),
+                                                 run_grid):
+        results = run_grid(("pairwise", "oracle"),
                                            scenarios=("L1",), n_mixes=1,
                                            suite=suite)
         assert {r.scheme for r in results} == {"pairwise", "oracle"}
@@ -26,8 +26,8 @@ class TestCommonRunner:
         assert all(r.stp_min <= r.stp_geomean <= r.stp_max for r in results)
 
     def test_overall_geomean_requires_known_scheme(self, suite,
-                                                   deprecated_run_scenarios):
-        results = deprecated_run_scenarios(("oracle",), scenarios=("L1",),
+                                                   run_grid):
+        results = run_grid(("oracle",), scenarios=("L1",),
                                            n_mixes=1, suite=suite)
         with pytest.raises(KeyError):
             overall_geomean(results, "pairwise")

@@ -1,0 +1,65 @@
+"""Unit tests for the events/sec gate in ``benchmarks/compare_baseline.py``."""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "compare_baseline", ROOT / "benchmarks" / "compare_baseline.py")
+compare_baseline = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_baseline)
+
+
+def tier(speedup: float, agree: bool = True) -> dict:
+    return {"kernels_agree": agree, "vector_speedup": speedup}
+
+
+class TestThroughputGate:
+    def test_small_regression_within_budget_passes(self):
+        failures: list = []
+        compare_baseline.check_throughput(
+            {"tiers": {"ci": tier(2.9)}}, {"tiers": {"ci": tier(3.0)}},
+            0.15, failures)
+        assert failures == []
+
+    def test_regression_beyond_budget_fails(self):
+        failures: list = []
+        compare_baseline.check_throughput(
+            {"tiers": {"ci": tier(2.0)}}, {"tiers": {"ci": tier(3.0)}},
+            0.15, failures)
+        assert len(failures) == 1 and "events/sec" in failures[0]
+
+    def test_kernel_divergence_fails_regardless_of_speed(self):
+        failures: list = []
+        compare_baseline.check_throughput(
+            {"tiers": {"ci": tier(9.9, agree=False)}},
+            {"tiers": {"ci": tier(3.0)}}, 0.15, failures)
+        assert len(failures) == 1 and "diverge" in failures[0]
+
+    def test_missing_baseline_tier_is_skipped_not_failed(self):
+        failures: list = []
+        compare_baseline.check_throughput(
+            {"tiers": {"mega": tier(12.0)}}, {"tiers": {"ci": tier(3.0)}},
+            0.15, failures)
+        assert failures == []
+
+    def test_improvement_always_passes(self):
+        failures: list = []
+        compare_baseline.check_throughput(
+            {"tiers": {"ci": tier(4.5), "mega": tier(15.0)}},
+            {"tiers": {"ci": tier(3.0), "mega": tier(13.0)}},
+            0.15, failures)
+        assert failures == []
+
+    def test_committed_report_shape_feeds_the_gate(self):
+        """The committed BENCH_throughput.json is a valid gate baseline."""
+        import json
+
+        report = json.loads((ROOT / "BENCH_throughput.json").read_text())
+        failures: list = []
+        compare_baseline.check_throughput(report, report, 0.15, failures)
+        assert failures == []
+        # The tentpole acceptance: the mega tier runs >= 10x the
+        # object-per-epoch kernel's events/sec at the same commit.
+        assert report["tiers"]["mega"]["vector_speedup"] >= 10.0
+        assert report["tiers"]["mega"]["kernels_agree"] is True

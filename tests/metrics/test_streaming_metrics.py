@@ -9,7 +9,7 @@ from repro.metrics.throughput import StreamingScheduleMetrics, evaluate_schedule
 from repro.metrics.utilization import (
     StreamingUtilization,
     StreamingUtilizationHeatmap,
-    utilization_matrix,
+    downsample_trace,
 )
 from repro.scheduling import PairwiseScheduler, make_oracle_scheduler
 from repro.workloads.mixes import Job, make_scenario_mixes
@@ -96,8 +96,12 @@ class TestStreamingHeatmap:
         jobs = [Job("HB.Sort", 200.0), Job("HB.Scan", 100.0)]
         result, _, _, heatmap = run_with_subscribers(jobs, n_nodes=4)
         times, matrix = heatmap.matrix()
-        with pytest.warns(DeprecationWarning):
-            _, reference = utilization_matrix(result, n_bins=10)
+        # Post-hoc reference built straight from the recorded traces (the
+        # retired trace-matrix helper, inlined).
+        reference = np.vstack([
+            downsample_trace(result.utilization_trace[node_id], 10)
+            for node_id in sorted(result.utilization_trace)
+        ])
         assert matrix.shape == reference.shape
         # Same nodes, same time span, same overall energy; bin boundaries
         # differ slightly (streaming bins are width-quantised).

@@ -12,7 +12,7 @@ from repro.metrics.slowdown import (
     slowdown_percent,
     spark_bandwidth_pressure,
 )
-from repro.metrics.utilization import downsample_trace, utilization_matrix
+from repro.metrics.utilization import downsample_trace
 from repro.scheduling import make_oracle_scheduler
 from repro.workloads.mixes import Job
 from repro.workloads.parsec import parsec_by_name
@@ -50,25 +50,17 @@ class TestUtilization:
         with pytest.raises(ValueError):
             downsample_trace([1.0], 0)
 
-    def test_utilization_matrix_shape_and_range(self):
+    def test_downsampled_traces_stay_in_range(self):
         simulator = ClusterSimulator(Cluster.homogeneous(3),
                                      make_oracle_scheduler(), time_step_min=0.5)
         result = simulator.run([Job("HB.Sort", 20.0), Job("HB.Scan", 10.0)])
-        with pytest.warns(DeprecationWarning, match="utilization_matrix"):
-            times, matrix = utilization_matrix(result, n_bins=10)
+        matrix = np.vstack([
+            downsample_trace(result.utilization_trace[node_id], 10)
+            for node_id in sorted(result.utilization_trace)
+        ])
         assert matrix.shape == (3, 10)
-        assert len(times) == 10
         assert np.all(matrix >= 0.0)
         assert np.all(matrix <= 100.0)
-
-    def test_utilization_matrix_requires_traces(self):
-        simulator = ClusterSimulator(Cluster.homogeneous(2),
-                                     make_oracle_scheduler(),
-                                     record_utilization=False)
-        result = simulator.run([Job("HB.Scan", 5.0)])
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError):
-                utilization_matrix(result)
 
     @given(st.lists(st.floats(0, 100), min_size=1, max_size=50),
            st.integers(1, 10))
