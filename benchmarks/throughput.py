@@ -6,22 +6,37 @@ and the per-object fallback (``kernel="object"``) — under the event
 engine with a bus subscriber counting every published event, and
 reports events/sec, jobs/sec and the vector/object speedup per tier:
 
-* ``ci``   — ``mega_ci_1k``: 1k jobs on 128 churning nodes, small
+* ``ci``    — ``mega_ci_1k``: 1k jobs on 128 churning nodes, small
   enough for every PR's CI run;
-* ``mega`` — ``mega_diurnal_10k``: 10k jobs over a replayed diurnal
+* ``queue`` — ``mega_queue_20k``: 20k jobs burst onto 1024 static
+  nodes with a capped horizon — the scheduler-bound tier, where each
+  epoch walks a ~20k-deep waiting queue and events/sec measures the
+  scheduling epoch (queue scan + scoring + estimator inference), not
+  executor dynamics;
+* ``mega``  — ``mega_diurnal_10k``: 10k jobs over a replayed diurnal
   week on 1024 churning nodes, the headline throughput tier.
 
 Both kernels must agree bit-for-bit — the report records the event
 count and makespan of each and a ``kernels_agree`` flag per tier; a
-fast kernel that diverges is a failure, not a win.  The committed
-``BENCH_throughput.json`` additionally carries a ``prerefactor_baseline``
-section: the same scenario/seed/grid measured from a worktree at the
-growth-seed commit (before the array-backed kernel existed), on the
-same machine as the committed kernel numbers.
+fast kernel that diverges is a failure, not a win.  ``--profile`` adds
+each run's per-phase wall-clock breakdown (arrivals / faults /
+schedule / advance, read off the engine's always-on phase counters) so
+a regression can be attributed to the phase that caused it.  The
+committed ``BENCH_throughput.json`` additionally carries a
+``prerefactor_baseline`` section: the same scenario/seed/grid measured
+before the vectorization work, on the same machine as the committed
+kernel numbers.
+
+The object kernel walks the 20k-deep queue tier thousands of times
+slower than the vector kernel, so the ``queue`` tier is vector-only by
+default (``--with-object-queue`` forces the comparison run; the
+bit-for-bit cross-check for the queue shape lives in the test suite at
+a size CI can afford).
 
 Usage::
 
     python benchmarks/throughput.py --tier ci --output BENCH_throughput.json
+    python benchmarks/throughput.py --tier ci,queue --profile
     python benchmarks/throughput.py --tier all --skip-object
 """
 
@@ -42,7 +57,13 @@ from repro.scheduling import build_scheduler  # noqa: E402
 from repro.spark.driver import DynamicAllocationPolicy  # noqa: E402
 
 #: tier name -> mega-tier scenario it runs.
-TIERS = {"ci": "mega_ci_1k", "mega": "mega_diurnal_10k"}
+TIERS = {"ci": "mega_ci_1k", "queue": "mega_queue_20k",
+         "mega": "mega_diurnal_10k"}
+
+#: Tiers whose object-kernel run is skipped unless explicitly forced:
+#: the per-object scheduling epoch over a 20k-deep queue is so slow the
+#: comparison run would dominate the whole benchmark by hours.
+VECTOR_ONLY_TIERS = frozenset({"queue"})
 
 #: Benchmark grid: half-minute sampling resolution — the regime where
 #: per-epoch costs (usage fan-out, capacity accounting) dominate and a
@@ -52,7 +73,7 @@ SEED = 7
 SCHEME = "pairwise"  # needs no offline training; placement-bound
 
 
-def run_once(scenario_name: str, kernel: str) -> dict:
+def run_once(scenario_name: str, kernel: str, profile: bool = False) -> dict:
     """One seeded scenario run on one kernel; returns the measurements."""
     spec = scenario(scenario_name)
     cluster = spec.build_cluster()
@@ -76,7 +97,7 @@ def run_once(scenario_name: str, kernel: str) -> dict:
     wall = time.perf_counter() - start
     finished = sum(1 for app in simulator.submission_order
                    if app.finish_time is not None)
-    return {
+    report = {
         "kernel": kernel,
         "wall_clock_s": round(wall, 2),
         "events": n_events,
@@ -86,15 +107,25 @@ def run_once(scenario_name: str, kernel: str) -> dict:
         "jobs_per_s": round(finished / wall, 2),
         "makespan_min": result.makespan_min,
     }
+    if profile:
+        phases = simulator.engine.phase_seconds
+        report["phases_s"] = {name: round(seconds, 3)
+                              for name, seconds in phases.items()}
+        accounted = sum(phases.values())
+        report["phases_s"]["other"] = round(max(wall - accounted, 0.0), 3)
+    return report
 
 
-def run_tier(tier: str, kernels: tuple[str, ...]) -> dict:
+def run_tier(tier: str, kernels: tuple[str, ...], profile: bool,
+             with_object_queue: bool) -> dict:
     scenario_name = TIERS[tier]
+    if tier in VECTOR_ONLY_TIERS and not with_object_queue:
+        kernels = tuple(k for k in kernels if k != "object")
     report: dict = {"scenario": scenario_name}
     for kernel in kernels:
         print(f"[{tier}] {scenario_name} kernel={kernel} ...",
               flush=True, file=sys.stderr)
-        report[kernel] = run_once(scenario_name, kernel)
+        report[kernel] = run_once(scenario_name, kernel, profile=profile)
         print(f"[{tier}]   {report[kernel]['wall_clock_s']}s, "
               f"{report[kernel]['events_per_s']:,.0f} events/s",
               flush=True, file=sys.stderr)
@@ -108,20 +139,40 @@ def run_tier(tier: str, kernels: tuple[str, ...]) -> dict:
     return report
 
 
+def parse_tiers(value: str) -> list[str]:
+    """``--tier`` value: ``all`` or a comma-separated tier list."""
+    if value == "all":
+        return list(TIERS)
+    tiers = [tier.strip() for tier in value.split(",") if tier.strip()]
+    unknown = [tier for tier in tiers if tier not in TIERS]
+    if unknown or not tiers:
+        raise argparse.ArgumentTypeError(
+            f"unknown tier(s) {unknown!r}; choose from "
+            f"{', '.join(TIERS)} or 'all'")
+    return tiers
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tier", choices=(*TIERS, "all"), default="ci",
-                        help="which mega-tier slice to run (default: ci)")
+    parser.add_argument("--tier", type=parse_tiers, default=["ci"],
+                        help="comma-separated tier list out of "
+                             f"{', '.join(TIERS)}, or 'all' (default: ci)")
     parser.add_argument("--skip-object", action="store_true",
                         help="run only the vector kernel (no fallback "
                              "comparison run, no speedup/agreement fields)")
+    parser.add_argument("--with-object-queue", action="store_true",
+                        help="run the object kernel on the queue tier too "
+                             "(hours: the per-object epoch over a 20k-deep "
+                             "queue is what the vector kernel removed)")
+    parser.add_argument("--profile", action="store_true",
+                        help="record each run's per-phase wall-clock "
+                             "breakdown (arrivals/faults/schedule/advance)")
     parser.add_argument("--output", default="BENCH_throughput.json",
                         metavar="PATH", help="report destination "
                                              "(default: BENCH_throughput.json)")
     args = parser.parse_args(argv)
 
     kernels = ("vector",) if args.skip_object else ("vector", "object")
-    tiers = list(TIERS) if args.tier == "all" else [args.tier]
     report = {
         "benchmark": "kernel_throughput",
         "python": platform.python_version(),
@@ -130,7 +181,9 @@ def main(argv=None) -> int:
         "time_step_min": TIME_STEP_MIN,
         "seed": SEED,
         "scheme": SCHEME,
-        "tiers": {tier: run_tier(tier, kernels) for tier in tiers},
+        "tiers": {tier: run_tier(tier, kernels, args.profile,
+                                 args.with_object_queue)
+                  for tier in args.tier},
     }
     for tier, entry in report["tiers"].items():
         if entry.get("kernels_agree") is False:

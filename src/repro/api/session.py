@@ -75,13 +75,13 @@ def _simulate_cell(suite: SchedulerSuite, task: tuple) -> CellResult:
     yardstick, so fault-induced slowdowns show up as slowdowns rather
     than silently rescaling the baseline.
     """
-    scheme, mix_index, jobs, time_step_min, seed, engine, spec = task
+    scheme, mix_index, jobs, time_step_min, seed, engine, kernel, spec = task
     cluster = spec.build_cluster()
     policy = DynamicAllocationPolicy(max_executors=len(cluster))
     factory = suite.factory(scheme, allocation_policy=policy)
     simulator = ClusterSimulator(cluster, factory(),
                                  time_step_min=time_step_min, seed=seed,
-                                 step_mode=engine,
+                                 step_mode=engine, kernel=kernel,
                                  max_time_min=spec.max_time_min,
                                  faults=spec.faults)
     metrics = StreamingScheduleMetrics(jobs, policy).attach(simulator.events)
@@ -277,7 +277,8 @@ class Session:
                           scheme_order=plan.schemes)
 
     def rollout(self, scenario, policy="random", *, seed: int = 11,
-                engine: str = "event", reward: str = "stp_delta",
+                engine: str = "event", kernel: str = "vector",
+                reward: str = "stp_delta",
                 time_step_min: float = 0.5, max_steps: int | None = None):
         """Run one scheduling-environment episode; returns an
         :class:`~repro.env.EpisodeResult`.
@@ -302,8 +303,8 @@ class Session:
             raise TypeError("policy must be a name or a repro.env.Policy, "
                             f"not {type(policy).__name__}")
         return run_episode(scenario, policy, seed=seed, engine=engine,
-                           reward=reward, time_step_min=time_step_min,
-                           max_steps=max_steps)
+                           kernel=kernel, reward=reward,
+                           time_step_min=time_step_min, max_steps=max_steps)
 
     # ------------------------------------------------------------------
     # Internals
@@ -320,7 +321,7 @@ class Session:
             for scheme in plan.schemes:
                 for mix_index, mix in enumerate(mixes):
                     tasks.append((scheme, mix_index, mix, plan.time_step_min,
-                                  plan.seed, plan.engine, spec))
+                                  plan.seed, plan.engine, plan.kernel, spec))
         return tasks
 
     def _abandon(self, pool: ProcessPoolExecutor) -> None:

@@ -32,7 +32,6 @@ wastes co-location opportunities.
 from __future__ import annotations
 
 import heapq
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -60,11 +59,18 @@ from repro.workloads.mixes import Job
 from repro.workloads.suites import benchmark_by_name
 
 __all__ = [
+    "KERNELS",
     "InterferenceModel",
+    "NodeFeatures",
     "SchedulingContext",
     "SimulationResult",
     "ClusterSimulator",
 ]
+
+#: Kernels understood by :class:`ClusterSimulator`: "vector" reduces the
+#: per-epoch hot loops over the structured state arrays, "object" keeps
+#: the historical per-object Python loops (the bit-for-bit parity oracle).
+KERNELS: tuple[str, ...] = ("vector", "object")
 
 
 @dataclass(frozen=True)
@@ -162,6 +168,81 @@ class SimulationResult:
         return float(np.mean(traces)) if traces else 0.0
 
 
+class NodeFeatures:
+    """Column snapshot of candidate-node features for batched scoring.
+
+    One row per node slot (node-id order), gathered straight from the
+    cluster's structured arrays (:class:`~repro.cluster.state.ClusterState`).
+    ``free_gb`` is computed exactly like
+    :meth:`~repro.cluster.cluster.Cluster.nodes_by_free_memory`
+    (``max(ram - reserved, 0)`` on the same float64 columns), so ranking
+    by it reproduces the historical placement-scan order bit for bit.
+
+    A snapshot is valid only for the state :attr:`version` it was built
+    at — any spawn, eviction, fault, or reservation change moves the
+    version.  Schedulers obtain snapshots through
+    :meth:`SchedulingContext.node_features`, which rebuilds lazily on
+    version changes, and rank candidates with :meth:`ranked`.
+    """
+
+    __slots__ = ("version", "node_ids", "ram_gb", "free_gb", "reserved_cpu",
+                 "up", "n_active", "speed", "n_apps", "_node_of", "_app_of",
+                 "_sim")
+
+    def __init__(self, sim: "ClusterSimulator") -> None:
+        state = sim.cluster.state
+        state.refresh_dirty()
+        self._sim = sim
+        self.version = state.version
+        rows = state.nodes_view()
+        n = len(rows)
+        #: Node ids, slot order (``node_ids[slot]`` names the node).
+        self.node_ids = np.asarray(state.node_ids, dtype=np.int64)
+        self.ram_gb = rows["ram_gb"].copy()
+        free = rows["ram_gb"] - rows["reserved_mem_gb"]
+        np.maximum(free, 0.0, out=free)
+        #: Unreserved memory, the placement-scan sort key.
+        self.free_gb = free
+        self.reserved_cpu = rows["reserved_cpu"].copy()
+        self.up = rows["up"].copy()
+        self.n_active = rows["n_active"].copy()
+        self.speed = rows["speed"].copy()
+        execs = state.execs_view()
+        act = state.active_slots()
+        self._node_of = execs["node_slot"][act]
+        self._app_of = execs["app_index"][act]
+        if self._node_of.size:
+            # Distinct co-located applications per node: unique
+            # (node, app) pairs via a composite key, then counts per
+            # node — the vectorized form of ``len(node.applications())``.
+            base = len(sim.submission_order) + 2
+            key = self._node_of * base + (self._app_of + 1)
+            uniq = np.unique(key)
+            self.n_apps = np.bincount(uniq // base, minlength=n)
+        else:
+            self.n_apps = np.zeros(n, dtype=np.int64)
+
+    def hosts_app(self, app: SparkApplication) -> np.ndarray:
+        """Boolean column: nodes where ``app`` has an active executor."""
+        mask = np.zeros(self.up.shape[0], dtype=bool)
+        if self._node_of.size:
+            index = self._sim.submission_index.get(app.name, -2)
+            mask[self._node_of[self._app_of == index]] = True
+        return mask
+
+    def ranked(self, scores: np.ndarray) -> np.ndarray:
+        """Node slots in stable descending-score order, NaN dropped.
+
+        This is the ``score_batch`` visiting contract: ties keep slot
+        (= node id) order, matching the historical stable sorts, and the
+        relative order of the eligible subset of a stable sort equals
+        the stable sort of the eligible subset — which is why masking
+        ineligible nodes with NaN reproduces the scalar scan order.
+        """
+        order = np.argsort(-scores, kind="stable")
+        return order[~np.isnan(scores[order])]
+
+
 class SchedulingContext:
     """The interface through which schedulers observe and act on the cluster.
 
@@ -174,6 +255,7 @@ class SchedulingContext:
     def __init__(self, simulator: "ClusterSimulator") -> None:
         self._sim = simulator
         self.now: float = 0.0
+        self._features: NodeFeatures | None = None
 
     # -- observation ---------------------------------------------------
     @property
@@ -203,23 +285,15 @@ class SchedulingContext:
         """
         sim = self._sim
         if sim.kernel == "vector":
-            # Same scan, over the lazily compacted live-apps list
-            # (submission order with finished apps dropped in place), so
-            # long open-arrival runs do not rescan every past app.
-            ready = []
-            apps = sim._live_apps
-            write = 0
-            for app in apps:
-                if app.state is ApplicationState.FINISHED:
-                    continue
-                apps[write] = app
-                write += 1
-                if sim.ready_time[app.name] > self.now + 1e-9:
-                    continue
-                if app.unassigned_gb > 1e-6:
-                    ready.append(app)
-            del apps[write:]
-            return ready
+            # Column-mask scan over the submit-order app queue
+            # (ClusterState.APP_DTYPE): the ready/finished/unassigned
+            # comparisons are the same as the historical per-object loop,
+            # and ascending slot order is submission order (compaction
+            # preserves it), so the returned list is identical.
+            state = sim.cluster.state
+            app_objs = state.app_objs
+            return [app_objs[slot]
+                    for slot in state.waiting_app_slots(self.now).tolist()]
         ready = []
         for app in sim.submission_order:
             if app.state is ApplicationState.FINISHED:
@@ -229,6 +303,26 @@ class SchedulingContext:
             if app.unassigned_gb > 1e-6:
                 ready.append(app)
         return ready
+
+    def node_features(self) -> NodeFeatures | None:
+        """Candidate-node feature columns for batched scheme scoring.
+
+        Returns ``None`` on the object kernel, which keeps every scheme
+        on its scalar scan — the parity oracle for the vectorized path.
+        On the vector kernel the snapshot is cached against the cluster
+        state's mutation version: repeated calls within one placement
+        pass are free, and the first call after any spawn / fault /
+        reservation change rebuilds the columns.
+        """
+        sim = self._sim
+        if sim.kernel != "vector":
+            return None
+        cached = self._features
+        if (cached is not None
+                and cached.version == sim.cluster.state.version):
+            return cached
+        self._features = NodeFeatures(sim)
+        return self._features
 
     def running_apps(self) -> list[SparkApplication]:
         """Applications that currently have at least one active executor."""
@@ -275,7 +369,9 @@ class SchedulingContext:
             self._sim.resource_manager.grant(request)
         executor = Executor(app_name=app.name, node_id=node_id,
                             memory_budget_gb=memory_budget_gb,
-                            assigned_gb=granted, cpu_demand=spec.cpu_load)
+                            assigned_gb=granted, cpu_demand=spec.cpu_load,
+                            app_index=self._sim.submission_index.get(
+                                app.name, -1))
         node.add_executor(executor)
         app.add_executor(executor)
         if app.start_time is None:
@@ -310,8 +406,8 @@ class ClusterSimulator:
         if step_mode not in STEP_MODES:
             raise ValueError(f"step_mode must be one of {STEP_MODES}, "
                              f"got {step_mode!r}")
-        if kernel not in ("vector", "object"):
-            raise ValueError(f"kernel must be 'vector' or 'object', "
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, "
                              f"got {kernel!r}")
         self.step_mode = step_mode
         # How the engines run their per-epoch hot loops: "vector" (the
@@ -348,15 +444,12 @@ class ClusterSimulator:
         #: Submission index by app name (finalisation order for the
         #: vector kernel's candidate-driven completion pass).
         self.submission_index: dict[str, int] = {}
-        #: Submission-ordered apps with finished ones dropped lazily —
-        #: the vector kernel's scan set for rescan/waiting wake-points.
-        self._live_apps: list[SparkApplication] = []
+        # The pending-arrival queue and the submitted-app queue are owned
+        # by the cluster's structured-array state (ClusterState): jobs are
+        # drained head-first by searchsorted against a submit-time column,
+        # and waiting-queue scans are column masks over APP_DTYPE slots.
         #: Min-heap of (profiling-ready time, app name), lazy deletion.
         self.profiling_heap: list[tuple[float, str]] = []
-        # Jobs whose submission time has not been reached yet, ordered by
-        # submission time (stable, so batch jobs keep their mix order).
-        # The engines drain this queue as simulated time advances.
-        self.pending_jobs: deque[Job] = deque()
         self._name_counts: dict[str, int] = {}
         # Data whose executor was killed by an out-of-memory error; it is
         # re-run in isolation on an idle node (paper Section 2.3) rather than
@@ -377,9 +470,10 @@ class ClusterSimulator:
         grid step covering the arrival, and the event engine aligns its
         arrival events to the same grid.
         """
-        while self.pending_jobs and (self.pending_jobs[0].submit_time_min
-                                     <= now + 1e-9):
-            self._submit_job(self.pending_jobs.popleft(), context, now)
+        state = self.cluster.state
+        state.maybe_compact_apps()
+        for job in state.pop_pending_due(now):
+            self._submit_job(job, context, now)
 
     def _submit_job(self, job: Job, context: "SchedulingContext",
                     now: float) -> None:
@@ -395,7 +489,6 @@ class ClusterSimulator:
         self.specs[name] = spec
         self.submission_index[name] = len(self.submission_order)
         self.submission_order.append(app)
-        self._live_apps.append(app)
         self.events.publish(JobArrival(time=now, app=name,
                                        input_gb=job.input_gb,
                                        detail=f"input={job.input_gb:.1f}GB"))
@@ -403,6 +496,7 @@ class ClusterSimulator:
         if hasattr(self.scheduler, "on_submit"):
             delay = float(self.scheduler.on_submit(context, app) or 0.0)
         self.ready_time[name] = now + delay
+        self.cluster.state.adopt_app(app, now + delay)
         if delay > 0:
             heapq.heappush(self.profiling_heap, (now + delay, name))
             app.state = ApplicationState.PROFILING
@@ -412,9 +506,15 @@ class ClusterSimulator:
 
     def next_arrival_min(self) -> float | None:
         """Arrival time of the earliest still-pending job, or ``None``."""
-        if not self.pending_jobs:
-            return None
-        return self.pending_jobs[0].submit_time_min
+        return self.cluster.state.next_pending_min()
+
+    def pending_count(self) -> int:
+        """Number of jobs whose arrival time has not been reached yet."""
+        return self.cluster.state.pending_count()
+
+    def has_pending_jobs(self) -> bool:
+        """Whether any job is still awaiting its arrival time."""
+        return self.cluster.state.pending_count() > 0
 
     # ------------------------------------------------------------------
     # Dynamic cluster events
@@ -466,8 +566,8 @@ class ClusterSimulator:
                 self, self.faults.realize(self.rng))
         # Stable sort: simultaneous arrivals keep their mix order, so a
         # batch mix is submitted exactly as the seed submitted it.
-        self.pending_jobs = deque(sorted(jobs,
-                                         key=lambda job: job.submit_time_min))
+        self.cluster.state.load_pending(
+            sorted(jobs, key=lambda job: job.submit_time_min))
 
         engine_kwargs = {}
         if self.step_mode == "event" and self.rescan_min is not None:
@@ -510,7 +610,7 @@ class ClusterSimulator:
             makespan_min=float(makespan),
             utilization_times=recorder.times if recorder else [],
             utilization_trace=recorder.trace if recorder else {},
-            unsubmitted_jobs=list(self.pending_jobs),
+            unsubmitted_jobs=self.cluster.state.pending_list(),
             streaming_utilization_percent=self._streaming.mean_percent(),
             fault_summary=fault_summary,
         )

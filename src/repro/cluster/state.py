@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ClusterState", "NODE_DTYPE", "EXEC_DTYPE"]
+__all__ = ["ClusterState", "NODE_DTYPE", "EXEC_DTYPE", "APP_DTYPE"]
 
 #: Per-node columns.  Static capacities are copied in at adoption;
 #: ``up``/``speed`` are dual-written by the Node mutators; the
@@ -55,6 +55,7 @@ NODE_DTYPE = np.dtype([
 #: never filled, and any growth of the assigned share invalidates it).
 EXEC_DTYPE = np.dtype([
     ("node_slot", np.int64),
+    ("app_index", np.int64),
     ("cpu_demand", np.float64),
     ("budget_gb", np.float64),
     ("assigned_gb", np.float64),
@@ -64,6 +65,18 @@ EXEC_DTYPE = np.dtype([
     ("footprint_key_gb", np.float64),
     ("active", np.bool_),
     ("alive", np.bool_),
+])
+
+#: Per-application queue columns (submit-order slots).  ``ready_time`` is
+#: written once at submission (profiling-window expiry); ``unassigned_gb``
+#: and ``finished`` are dual-written by the SparkApplication mutators
+#: (``take_unassigned``/``return_unassigned``/``mark_finished``), so the
+#: waiting-queue scans of the vector kernel are column masks instead of
+#: per-object loops.
+APP_DTYPE = np.dtype([
+    ("ready_time", np.float64),
+    ("unassigned_gb", np.float64),
+    ("finished", np.bool_),
 ])
 
 #: Compaction threshold: compact once this many dead slots accumulate
@@ -76,7 +89,9 @@ class ClusterState:
 
     __slots__ = ("_node", "n_nodes", "node_objs", "node_ids",
                  "_exec", "n_execs", "exec_objs",
-                 "_n_dead", "_dirty_nodes")
+                 "_n_dead", "_dirty_nodes", "version",
+                 "_app", "n_apps", "app_objs", "_n_apps_dead",
+                 "_pending_times", "_pending_jobs", "_pending_head")
 
     def __init__(self, n_nodes_hint: int = 0) -> None:
         self._node = np.zeros(max(int(n_nodes_hint), 4), NODE_DTYPE)
@@ -93,6 +108,25 @@ class ClusterState:
         self.exec_objs: list = []
         self._n_dead = 0
         self._dirty_nodes: set[int] = set()
+        #: Monotone mutation counter: bumped whenever node membership,
+        #: executor placement/activity, or reservation aggregates change
+        #: (adoption, eviction, dirty-marking).  Feature snapshots built
+        #: from these arrays (``SchedulingContext.node_features``) are
+        #: cached against it — equal version means bit-identical columns.
+        self.version = 0
+        # Application queue: submit-order slots over APP_DTYPE columns,
+        # compacted (order-preserving) as finished apps accumulate.
+        self._app = np.zeros(64, APP_DTYPE)
+        self.n_apps = 0
+        #: Parallel list: ``app_objs[slot]`` views queue slot ``slot``.
+        self.app_objs: list = []
+        self._n_apps_dead = 0
+        # Pending (not yet submitted) jobs: a submit-time column plus the
+        # parallel Job list, drained head-first as simulated time reaches
+        # each arrival — the array-backed successor of the arrival deque.
+        self._pending_times = np.empty(0)
+        self._pending_jobs: list = []
+        self._pending_head = 0
 
     # ------------------------------------------------------------------
     # Column views (capacity-trimmed)
@@ -114,6 +148,7 @@ class ClusterState:
     # ------------------------------------------------------------------
     def adopt_node(self, node) -> int:
         """Give ``node`` an array slot; returns the slot index."""
+        self.version += 1
         slot = self.n_nodes
         if slot >= len(self._node):
             self._node = _grown(self._node, slot + 1)
@@ -142,6 +177,7 @@ class ClusterState:
         safe point to compact away accumulated dead slots.
         """
         self.maybe_compact()
+        self.version += 1
         slot = self.n_execs
         if slot >= len(self._exec):
             old_capacity = len(self._exec)
@@ -152,6 +188,7 @@ class ClusterState:
         # compact() for the reclaimed tail).
         row = self._exec[slot]
         row["node_slot"] = node_slot
+        row["app_index"] = executor.app_index
         row["cpu_demand"] = executor.cpu_demand
         row["budget_gb"] = executor.memory_budget_gb
         row["assigned_gb"] = executor._assigned_gb
@@ -172,6 +209,7 @@ class ClusterState:
         (``SparkApplication.processed_gb`` sums over *all* executors,
         including finished and failed ones) keeps working.
         """
+        self.version += 1
         slot = executor._slot
         executor._assigned_gb = float(self._exec["assigned_gb"][slot])
         executor._processed_gb = float(self._exec["processed_gb"][slot])
@@ -217,6 +255,7 @@ class ClusterState:
     # ------------------------------------------------------------------
     def mark_node_dirty(self, slot: int) -> None:
         """A node's reservation aggregates went stale."""
+        self.version += 1
         self._dirty_nodes.add(slot)
 
     def refresh_dirty(self) -> None:
@@ -232,6 +271,119 @@ class ClusterState:
         node_objs = self.node_objs
         for slot in dirty:
             node_objs[slot]._refresh()
+
+    # ------------------------------------------------------------------
+    # Pending-job queue (array-backed arrival queue)
+    # ------------------------------------------------------------------
+    def load_pending(self, jobs: list) -> None:
+        """Install one run's arrival queue (``jobs`` sorted by submit time)."""
+        self._pending_jobs = list(jobs)
+        self._pending_times = np.fromiter(
+            (job.submit_time_min for job in self._pending_jobs),
+            dtype=np.float64, count=len(self._pending_jobs))
+        self._pending_head = 0
+
+    def pop_pending_due(self, now: float) -> list:
+        """Drain and return every pending job with ``submit_time <= now``.
+
+        ``searchsorted`` against the same ``now + 1e-9`` tolerance the
+        historical deque loop compared with, so the drained prefix is
+        identical job for job.
+        """
+        head = self._pending_head
+        hi = int(np.searchsorted(self._pending_times, now + 1e-9,
+                                 side="right"))
+        if hi <= head:
+            return []
+        self._pending_head = hi
+        return self._pending_jobs[head:hi]
+
+    def next_pending_min(self) -> float | None:
+        """Submit time of the earliest still-pending job, or ``None``."""
+        if self._pending_head >= len(self._pending_jobs):
+            return None
+        return float(self._pending_times[self._pending_head])
+
+    def pending_count(self) -> int:
+        """Number of jobs whose arrival time has not been reached."""
+        return len(self._pending_jobs) - self._pending_head
+
+    def pending_list(self) -> list:
+        """The still-pending jobs, in submission order (a fresh list)."""
+        return self._pending_jobs[self._pending_head:]
+
+    # ------------------------------------------------------------------
+    # Application queue (submit-order slots)
+    # ------------------------------------------------------------------
+    def adopt_app(self, app, ready_time: float) -> int:
+        """Give a submitted application a queue slot; returns the slot."""
+        slot = self.n_apps
+        if slot >= len(self._app):
+            self._app = _grown(self._app, slot + 1)
+        row = self._app[slot]
+        row["ready_time"] = ready_time
+        row["unassigned_gb"] = app.unassigned_gb
+        row["finished"] = False
+        self.app_objs.append(app)
+        self.n_apps = slot + 1
+        app._qstate = self
+        app._qslot = slot
+        return slot
+
+    def app_finished_slot(self, slot: int) -> None:
+        """Dual-write hook: the app viewing ``slot`` reached FINISHED."""
+        if not self._app["finished"][slot]:
+            self._app["finished"][slot] = True
+            self._n_apps_dead += 1
+
+    def waiting_app_slots(self, now: float) -> np.ndarray:
+        """Queue slots of ready, unfinished apps with unassigned data.
+
+        Ascending slot order — submission order, which compaction
+        preserves — with the exact comparisons of the historical
+        per-object scan (``ready_time <= now + 1e-9``,
+        ``unassigned_gb > 1e-6``).
+        """
+        n = self.n_apps
+        rows = self._app[:n]
+        mask = ~rows["finished"]
+        mask &= rows["ready_time"] <= now + 1e-9
+        mask &= rows["unassigned_gb"] > 1e-6
+        return np.flatnonzero(mask)
+
+    def any_waiting(self, now: float) -> bool:
+        """Whether any unfinished app is ready with unassigned data."""
+        n = self.n_apps
+        rows = self._app[:n]
+        mask = ~rows["finished"]
+        mask &= rows["ready_time"] <= now + 1e-9
+        mask &= rows["unassigned_gb"] > 1e-6
+        return bool(mask.any())
+
+    def maybe_compact_apps(self) -> None:
+        """Compact the app queue when finished slots outnumber live ones.
+
+        Called only at the top of a scheduling epoch (before arrivals),
+        where no queue-slot indices are cached — compaction renumbers
+        every live application's slot.
+        """
+        if (self._n_apps_dead >= _COMPACT_MIN_DEAD
+                and self._n_apps_dead * 2 > self.n_apps):
+            self.compact_apps()
+
+    def compact_apps(self) -> None:
+        """Drop finished app rows, preserving submit-order slots."""
+        if self._n_apps_dead == 0:
+            return
+        keep = np.flatnonzero(~self._app["finished"][:self.n_apps])
+        n_live = int(keep.size)
+        self._app[:n_live] = self._app[keep]
+        live_objs = [self.app_objs[slot] for slot in keep.tolist()]
+        for new_slot, app in enumerate(live_objs):
+            app._qslot = new_slot
+        self.app_objs = live_objs
+        self.n_apps = n_live
+        self._n_apps_dead = 0
 
 
 def _nan_memo(array: np.ndarray, start: int) -> None:

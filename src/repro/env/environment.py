@@ -113,6 +113,10 @@ class SchedulingEnv:
         Simulation step mode (``"event"`` default, or ``"fixed"``).
         Both pause at the same grid-aligned wake-points; the event
         engine simply skips the epochs at which nothing can change.
+    kernel:
+        Per-epoch hot-loop mode, ``"vector"`` (default) or ``"object"``
+        — the scalar parity oracle.  Trajectories are bit-for-bit
+        identical either way.
     reward:
         One of :data:`REWARD_KINDS` (default ``"stp_delta"``).
     time_step_min:
@@ -130,13 +134,14 @@ class SchedulingEnv:
     """
 
     def __init__(self, scenario, *, engine: str = "event",
-                 reward: str = "stp_delta",
+                 kernel: str = "vector", reward: str = "stp_delta",
                  time_step_min: float = 0.5) -> None:
         self._spec = load_scenario(scenario)
         if reward not in REWARD_KINDS:
             raise ValueError(f"unknown reward kind {reward!r}; expected one "
                              f"of {REWARD_KINDS}")
         self.engine = engine
+        self.kernel = kernel
         self.reward_kind = reward
         self.time_step_min = time_step_min
         self._sim: ClusterSimulator | None = None
@@ -181,7 +186,7 @@ class SchedulingEnv:
         jobs = spec.make_mixes(n_mixes=1, seed=seed)[0]
         sim = ClusterSimulator(cluster, scheduler,
                                time_step_min=self.time_step_min, seed=seed,
-                               step_mode=self.engine,
+                               step_mode=self.engine, kernel=self.kernel,
                                max_time_min=spec.max_time_min,
                                faults=spec.faults)
         self.seed = seed

@@ -266,7 +266,7 @@ class ObservationBuilder:
             epoch=epoch,
             jobs=tuple(jobs),
             nodes=nodes,
-            pending_arrivals=len(sim.pending_jobs),
+            pending_arrivals=sim.pending_count(),
             oom_rerun_gb=float(sum(sim.oom_retry_gb.values())),
             telemetry=self.telemetry(),
         )

@@ -129,8 +129,8 @@ class EpisodeResult:
 
 
 def rollout(scenario, policy: Policy, *, seed: int = 11,
-            engine: str = "event", reward: str = "stp_delta",
-            time_step_min: float = 0.5,
+            engine: str = "event", kernel: str = "vector",
+            reward: str = "stp_delta", time_step_min: float = 0.5,
             max_steps: int | None = None) -> EpisodeResult:
     """Run one full episode of ``policy`` on ``scenario``.
 
@@ -139,8 +139,8 @@ def rollout(scenario, policy: Policy, *, seed: int = 11,
     where every grid step is an epoch); exceeding it raises
     ``RuntimeError`` naming the scenario and step count.
     """
-    env = SchedulingEnv(scenario, engine=engine, reward=reward,
-                        time_step_min=time_step_min)
+    env = SchedulingEnv(scenario, engine=engine, kernel=kernel,
+                        reward=reward, time_step_min=time_step_min)
     policy.reset(seed)
     observation = env.reset(seed=seed,
                             scheduler_factory=policy.make_scheduler)

@@ -44,6 +44,7 @@ from repro.api import (
 )
 from repro.cluster.engine import STEP_MODES
 from repro.cluster.faults import FAULT_PROFILES, load_fault_spec
+from repro.cluster.simulator import KERNELS
 from repro.experiments import (
     fig3_memory_curves,
     fig4_pca,
@@ -245,7 +246,7 @@ def _run_env_rollout(args) -> int:
         try:
             episode = session.rollout(spec, policy=args.policy,
                                       seed=args.seed, engine=args.engine,
-                                      reward=args.reward)
+                                      kernel=args.kernel, reward=args.reward)
         except UnknownPolicy as error:
             print(f"cannot resolve policy {args.policy!r}: {error}",
                   file=sys.stderr)
@@ -281,7 +282,8 @@ def _run_scenario_mode(args) -> int:
     try:
         plan = ExperimentPlan(schemes=schemes, scenarios=(spec,),
                               n_mixes=args.n_mixes, seed=args.seed,
-                              engine=args.engine, workers=args.workers)
+                              engine=args.engine, kernel=args.kernel,
+                              workers=args.workers)
     except (PlanError, UnknownSchemeError) as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -369,6 +371,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="simulation engine: 'event' jumps between "
                              "state changes, 'fixed' advances in constant "
                              "steps (default: event)")
+    parser.add_argument("--kernel", choices=list(KERNELS), default="vector",
+                        help="per-epoch hot-loop mode for --scenario and "
+                             "env-rollout: 'vector' reduces over the "
+                             "structured state arrays, 'object' runs the "
+                             "per-object scalar parity oracle — "
+                             "trajectories are bit-for-bit identical "
+                             "(default: vector)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for the scenario-grid "
                              "experiments fig6/fig9/fig10 and --scenario "
@@ -401,8 +410,15 @@ def main(argv: list[str] | None = None) -> int:
                 n_jobs = spec.n_apps if spec.n_apps is not None else len(spec.jobs)
                 n_nodes = sum(group.count
                               for group in topology_specs(spec.topology))
-                print(f"  {name:18s} {n_jobs:>6d} jobs  {n_nodes:>5d} nodes  "
-                      f"{spec.description}")
+                columns = f"  {name:18s} {n_jobs:>6d} jobs  {n_nodes:>5d} nodes  "
+                if tier == "mega":
+                    # Pending-queue depth at t=0: batch arrivals drop the
+                    # whole workload into the array-backed pending queue
+                    # at once (the scheduler-bound regime); open arrival
+                    # processes start it empty and fill it over time.
+                    depth = n_jobs if spec.arrival.kind == "batch" else 0
+                    columns += f"queue@t0={depth:<6d} "
+                print(columns + spec.description)
         return 0
 
     if args.list_schemes:

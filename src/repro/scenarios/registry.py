@@ -179,6 +179,17 @@ SCENARIO_REGISTRY: dict[str, ScenarioSpec] = {
                     "1024 churning paper-spec nodes — the stress end of "
                     "the mega tier",
     ),
+    "mega_queue_20k": ScenarioSpec(
+        name="mega_queue_20k",
+        n_apps=20_000,
+        topology="mega1024",
+        max_time_min=120.0,
+        description="Scheduler-bound burst: 20k jobs dropped on 1024 "
+                    "static nodes at t=0, horizon-capped at two simulated "
+                    "hours — every epoch walks a ~20k-deep waiting queue, "
+                    "so events/sec measures the scheduling epoch itself "
+                    "rather than executor dynamics",
+    ),
 }
 
 

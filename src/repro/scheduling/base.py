@@ -6,7 +6,9 @@ import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-from repro.cluster.simulator import SchedulingContext
+import numpy as np
+
+from repro.cluster.simulator import NodeFeatures, SchedulingContext
 from repro.spark.application import SparkApplication
 
 __all__ = ["ProfilingCost", "Scheduler"]
@@ -56,6 +58,23 @@ class Scheduler(ABC):
     @abstractmethod
     def schedule(self, ctx: SchedulingContext) -> None:
         """Place executors for waiting applications (called every step)."""
+
+    def score_batch(self, ctx: SchedulingContext, app: SparkApplication,
+                    features: NodeFeatures) -> np.ndarray | None:
+        """Score every candidate node for ``app`` in one vectorized pass.
+
+        Returns a float array aligned with the ``features`` rows (node
+        slots): higher is better, ``NaN`` marks a node this policy would
+        never use for ``app`` right now.  Callers visit candidates in
+        stable descending-score order (``features.ranked(scores)``), so
+        an implementation reproduces its scalar scan exactly when the
+        score is the scan's sort key and the NaN mask is the scan's
+        skip set — the scalar path remains the parity oracle either way.
+
+        The default returns ``None``: no vectorized scoring, callers
+        fall back to the scalar scan (plugins need not implement this).
+        """
+        return None
 
     def next_wake_min(self, now: float) -> float:
         """Earliest future time this scheduler wants to be re-invoked.

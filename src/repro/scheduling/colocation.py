@@ -21,7 +21,9 @@ the paper.
 
 from __future__ import annotations
 
-from repro.cluster.simulator import SchedulingContext
+import numpy as np
+
+from repro.cluster.simulator import NodeFeatures, SchedulingContext
 from repro.scheduling.base import Scheduler
 from repro.scheduling.estimators import MemoryEstimator
 from repro.spark.application import SparkApplication
@@ -84,7 +86,17 @@ class MemoryAwareCoLocationScheduler(Scheduler):
         return self.charge_profiling(app, cost)
 
     def schedule(self, ctx: SchedulingContext) -> None:
+        features = ctx.node_features()
+        if features is not None and not (
+                features.up & (features.free_gb >= self.min_free_gb)).any():
+            # No live node clears the minimum-free bar, so no placement
+            # pass below could spawn anything (each scan would break at
+            # its first node); the scalar walk is side-effect-free in
+            # that case, so skip the waiting queue entirely.
+            return
         waiting = ctx.waiting_apps()
+        if features is not None and waiting:
+            self._prefetch_footprints(waiting)
         # The paper's dispatcher starts waiting applications as soon as
         # possible instead of letting already-running jobs absorb every
         # freed resource: applications that have not received any executor
@@ -102,9 +114,56 @@ class MemoryAwareCoLocationScheduler(Scheduler):
                 if self._schedule_app(ctx, app, max_new_executors=1):
                     progressed = True
 
+    def on_cluster_change(self, ctx: SchedulingContext, event) -> None:
+        super().on_cluster_change(ctx, event)
+        # The executor target — and with it every (app, share) memo key —
+        # derives from the allocation policy just re-sized above, and a
+        # topology change can re-prepare applications behind the
+        # estimator's back; dropping the memo guarantees no footprint
+        # predicted before the change is ever reused after it.
+        self._predicted_gb.clear()
+
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
+    def _prefetch_footprints(self, waiting: list[SparkApplication]) -> None:
+        """One batched footprint inference per epoch over the waiting queue.
+
+        Fills the ``(app, share)`` memo for every waiting application's
+        current target share through a single
+        :meth:`MemoryEstimator.footprint_batch` call, so the per-node
+        placement scans below hit the memo instead of invoking the
+        estimator application by application (and the estimator can
+        amortize its feature pipeline across the whole batch).  Memo
+        values are exactly what the lazy per-call fills in
+        ``_size_executor`` would store — ``footprint_batch`` is
+        bit-identical to per-row ``footprint_gb`` by contract — so the
+        prefetch only moves work, never changes a placement.
+        """
+        names: list[str] = []
+        shares: list[float] = []
+        keys: list[tuple[str, float]] = []
+        for app in waiting:
+            desired = self.allocation_policy.desired_executors(
+                max(app.remaining_gb, 1e-3)
+            )
+            active = len(app.active_executors)
+            if active >= desired or app.unassigned_gb <= 1e-6:
+                continue
+            share = app.unassigned_gb / max(desired - active, 1)
+            key = (app.name, share)
+            if key in self._predicted_gb:
+                continue
+            names.append(app.name)
+            shares.append(share)
+            keys.append(key)
+        if not names:
+            return
+        predicted = self.estimator.footprint_batch(
+            names, np.asarray(shares, dtype=np.float64))
+        for key, value in zip(keys, predicted):
+            self._predicted_gb[key] = float(value) * self.safety_margin
+
     def _schedule_app(self, ctx: SchedulingContext, app: SparkApplication,
                       max_new_executors: int | None = None) -> int:
         # The executor target follows the *remaining* data (in-flight plus
@@ -117,6 +176,12 @@ class MemoryAwareCoLocationScheduler(Scheduler):
         active = len(app.active_executors)
         if active >= desired:
             return 0
+        features = ctx.node_features()
+        if features is not None and max_new_executors == 1:
+            scores = self.score_batch(ctx, app, features)
+            if scores is not None:
+                return self._place_one_vector(ctx, app, features, scores,
+                                              desired, active)
         cpu_load = self.estimator.cpu_load(app.name)
         spawned = 0
         for node in ctx.cluster.nodes_by_free_memory():
@@ -141,6 +206,49 @@ class MemoryAwareCoLocationScheduler(Scheduler):
                 active += 1
                 spawned += 1
         return spawned
+
+    def _place_one_vector(self, ctx: SchedulingContext,
+                          app: SparkApplication, features: NodeFeatures,
+                          scores: np.ndarray, desired: int,
+                          active: int) -> int:
+        """Column-scored form of the single-spawn scan above.
+
+        Valid only for ``max_new_executors == 1``: until the one spawn
+        happens nothing mutates, so the share and the feature snapshot
+        stay constant through the scan — exactly like the scalar loop,
+        which breaks right after its first successful spawn.
+        """
+        if app.unassigned_gb <= 1e-6:
+            return 0
+        for slot in features.ranked(scores).tolist():
+            free_gb = float(features.free_gb[slot])
+            share = app.unassigned_gb / max(desired - active, 1)
+            budget, data = self._size_executor(app.name, share, free_gb)
+            # Never starve an application's final sliver of data: the
+            # minimum-chunk rule only applies while larger chunks remain.
+            if data < min(self.min_data_gb, app.unassigned_gb - 1e-9):
+                continue
+            executor = ctx.spawn_executor(app, int(features.node_ids[slot]),
+                                          budget, data)
+            if executor is not None:
+                return 1
+        return 0
+
+    def score_batch(self, ctx: SchedulingContext, app: SparkApplication,
+                    features: NodeFeatures) -> np.ndarray:
+        """Free memory as the score, NaN where the admission rules fail.
+
+        The NaN mask is the scalar scan's skip set: down nodes, nodes
+        under ``min_free_gb`` (the scalar loop breaks there — on a
+        descending free-memory scan every later node fails too, so the
+        mask removes exactly the broken-out suffix), and nodes whose
+        aggregate CPU would exceed 100 % with this application added.
+        """
+        cpu_load = self.estimator.cpu_load(app.name)
+        eligible = (features.up
+                    & (features.free_gb >= self.min_free_gb)
+                    & (features.reserved_cpu + cpu_load <= 1.0 + 1e-9))
+        return np.where(eligible, features.free_gb, np.nan)
 
     def _size_executor(self, app_name: str, share_gb: float,
                        free_gb: float) -> tuple[float, float]:

@@ -61,6 +61,26 @@ class MemoryEstimator(ABC):
     def cpu_load(self, app_name: str) -> float:
         """Estimated CPU demand of the application's executors."""
 
+    def footprint_batch(self, app_names: list[str],
+                        data_gbs: np.ndarray) -> np.ndarray:
+        """Footprints for many ``(app, data share)`` queries in one call.
+
+        The dispatcher issues a single ``footprint_batch`` per scheduling
+        epoch covering every waiting application, instead of one
+        ``footprint_gb`` call per application per node scan.  Overrides
+        may vectorize internally, but MUST return values bit-identical to
+        per-row ``footprint_gb`` calls: the batched results feed the same
+        placement decisions the scalar parity-oracle path makes from
+        per-row calls, and any ulp of drift would fork the two
+        trajectories.  (Notably, pushing a multi-row matrix through a
+        BLAS-backed matmul is *not* bit-stable against the equivalent
+        row-at-a-time products — see ``ANNUnifiedEstimator``.)
+        """
+        return np.fromiter(
+            (self.footprint_gb(name, float(data))
+             for name, data in zip(app_names, data_gbs)),
+            dtype=np.float64, count=len(app_names))
+
     def data_for_budget_gb(self, app_name: str, budget_gb: float,
                            max_gb: float = 1e6) -> float:
         """Largest data share whose estimated footprint fits ``budget_gb``.
@@ -243,6 +263,29 @@ class ANNUnifiedEstimator(MemoryEstimator):
         row = np.concatenate([features, [np.log(max(float(data_gb), 1e-6))]])
         scaled = self._scaler.transform(row.reshape(1, -1))
         return float(max(self._model.predict(scaled)[0], 0.25))
+
+    def footprint_batch(self, app_names, data_gbs):
+        """Batched inference with the feature pipeline amortized.
+
+        Row assembly and min-max scaling are elementwise, so running them
+        on the stacked query matrix is bit-identical to per-row calls.
+        The network forward pass stays row-at-a-time on purpose: BLAS
+        dispatches different kernels (and accumulation orders) for
+        matrix-matrix versus row-vector products, so predicting the whole
+        batch in one matmul drifts from the scalar path by an ulp — and
+        an ulp in a footprint forks placement against the parity oracle.
+        """
+        if len(app_names) == 0:
+            return np.zeros(0)
+        rows = np.vstack([
+            np.concatenate([self._features[name],
+                            [np.log(max(float(data), 1e-6))]])
+            for name, data in zip(app_names, data_gbs)])
+        scaled = self._scaler.transform(rows)
+        return np.fromiter(
+            (max(float(self._model.predict(scaled[i:i + 1])[0]), 0.25)
+             for i in range(scaled.shape[0])),
+            dtype=np.float64, count=scaled.shape[0])
 
     def cpu_load(self, app_name):
         return self._cpu[app_name]

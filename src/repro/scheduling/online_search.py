@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import math
 
-from repro.cluster.simulator import SchedulingContext
+import numpy as np
+
+from repro.cluster.simulator import NodeFeatures, SchedulingContext
 from repro.scheduling.base import ProfilingCost, Scheduler
 from repro.scheduling.estimators import OracleEstimator
 from repro.spark.application import SparkApplication
@@ -92,6 +94,21 @@ class OnlineSearchScheduler(Scheduler):
         active = len(app.active_executors)
         if active >= desired:
             return
+        features = ctx.node_features()
+        if features is not None:
+            scores = self.score_batch(ctx, app, features)
+            if scores is not None:
+                # At most one spawn per application per call, so the
+                # snapshot stays valid through the scan (the scalar loop
+                # returns right after its one successful spawn too).
+                for slot in features.ranked(scores).tolist():
+                    if app.unassigned_gb <= 1e-6:
+                        return
+                    free_gb = float(features.free_gb[slot])
+                    if self._try_spawn(ctx, app, int(features.node_ids[slot]),
+                                       free_gb, desired, active):
+                        return
+                return
         cpu_load = self._measure.cpu_load(app.name)
         for node in ctx.cluster.nodes_by_free_memory():
             if app.unassigned_gb <= 1e-6:
@@ -102,21 +119,44 @@ class OnlineSearchScheduler(Scheduler):
                 break
             if node.reserved_cpu_load + cpu_load > 1.0 + 1e-9:
                 continue
-            share = app.unassigned_gb / max(desired - active, 1)
-            fits = self._measure.data_for_budget_gb(app.name, free_gb, max_gb=share)
-            # Conservative first allocation, but never smaller than the
-            # application's remaining sliver (which would starve its tail).
-            data = max(min(fits, share) * self.initial_fraction,
-                       min(share, 0.25))
-            if data < min(0.25, app.unassigned_gb - 1e-9):
-                continue
-            budget = self._measure.footprint_gb(app.name, min(fits, share)) * 1.05
-            budget = min(budget, free_gb)
-            executor = ctx.spawn_executor(app, node.node_id, budget, data)
-            if executor is not None:
-                # One search trial per interval: stop after a single spawn.
-                self._last_spawn[app.name] = ctx.now
-                if app.unassigned_gb > 1e-6:
-                    self._gate_deadlines.append(
-                        ctx.now + self.search_interval_min)
+            if self._try_spawn(ctx, app, node.node_id, free_gb, desired,
+                               active):
                 return
+
+    def _try_spawn(self, ctx: SchedulingContext, app: SparkApplication,
+                   node_id: int, free_gb: float, desired: int,
+                   active: int) -> bool:
+        """One search trial on one node; True ends the app's scan."""
+        share = app.unassigned_gb / max(desired - active, 1)
+        fits = self._measure.data_for_budget_gb(app.name, free_gb, max_gb=share)
+        # Conservative first allocation, but never smaller than the
+        # application's remaining sliver (which would starve its tail).
+        data = max(min(fits, share) * self.initial_fraction,
+                   min(share, 0.25))
+        if data < min(0.25, app.unassigned_gb - 1e-9):
+            return False
+        budget = self._measure.footprint_gb(app.name, min(fits, share)) * 1.05
+        budget = min(budget, free_gb)
+        executor = ctx.spawn_executor(app, node_id, budget, data)
+        if executor is None:
+            return False
+        # One search trial per interval: stop after a single spawn.
+        self._last_spawn[app.name] = ctx.now
+        if app.unassigned_gb > 1e-6:
+            self._gate_deadlines.append(ctx.now + self.search_interval_min)
+        return True
+
+    def score_batch(self, ctx: SchedulingContext, app: SparkApplication,
+                    features: NodeFeatures) -> np.ndarray:
+        """Free memory as the score, NaN where a trial cannot run.
+
+        The mask mirrors the scalar scan: down nodes, nodes with less
+        than 1 GB free (where the descending scan breaks — every later
+        node fails too), and nodes whose aggregate CPU would exceed
+        100 % with this application's executor added.
+        """
+        cpu_load = self._measure.cpu_load(app.name)
+        eligible = (features.up
+                    & (features.free_gb >= 1.0)
+                    & (features.reserved_cpu + cpu_load <= 1.0 + 1e-9))
+        return np.where(eligible, features.free_gb, np.nan)

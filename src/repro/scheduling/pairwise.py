@@ -10,8 +10,11 @@ why Pairwise falls behind for large task groups (Section 6.2).
 
 from __future__ import annotations
 
-from repro.cluster.simulator import SchedulingContext
+import numpy as np
+
+from repro.cluster.simulator import NodeFeatures, SchedulingContext
 from repro.scheduling.base import Scheduler
+from repro.spark.application import SparkApplication
 from repro.spark.driver import DynamicAllocationPolicy
 
 __all__ = ["PairwiseScheduler"]
@@ -39,30 +42,102 @@ class PairwiseScheduler(Scheduler):
         self.allocation_policy = allocation_policy or DynamicAllocationPolicy()
 
     def schedule(self, ctx: SchedulingContext) -> None:
+        features = ctx.node_features()
+        if features is None:
+            self.schedule_scalar(ctx)
+            return
+        if not self._usable_mask(features).any():
+            # No node can take an executor for *any* application (two
+            # co-runners everywhere, or unusable budgets): the scalar
+            # scan below would be a side-effect-free global no-op, so
+            # skip walking the waiting queue entirely.
+            return
         for app in ctx.waiting_apps():
             desired = self.allocation_policy.desired_executors(app.input_gb)
             active = len(app.active_executors)
             if active >= desired:
                 continue
-            for node in ctx.cluster.nodes_by_free_memory():
+            fresh = ctx.node_features()
+            if fresh is not features:
+                # An earlier app spawned: re-snapshot (the scalar scan
+                # re-sorts nodes per app for the same reason).
+                features = fresh
+                if not self._usable_mask(features).any():
+                    return
+            scores = self.score_batch(ctx, app, features)
+            if scores is None:
+                self._schedule_app_scalar(ctx, app, desired, active)
+                continue
+            for slot in features.ranked(scores).tolist():
                 if active >= desired or app.unassigned_gb <= 1e-6:
                     break
-                co_running = node.applications()
-                if app.name in co_running:
-                    continue
-                if len(co_running) >= 2:
-                    continue
-                if co_running:
+                if features.n_apps[slot] > 0:
                     # The co-locating task gets every remaining gigabyte.
-                    budget = node.free_reserved_memory_gb
+                    budget = float(features.free_gb[slot])
                 else:
-                    budget = node.ram_gb * self.default_heap_fraction
-                if budget < 1.0:
-                    continue
+                    budget = float(features.ram_gb[slot]) * self.default_heap_fraction
                 data = min(self.allocation_policy.default_split_gb(app.input_gb),
                            app.unassigned_gb)
                 # Pairwise has no notion of CPU demand, so no admission test.
-                executor = ctx.spawn_executor(app, node.node_id, budget, data,
+                executor = ctx.spawn_executor(app,
+                                              int(features.node_ids[slot]),
+                                              budget, data,
                                               enforce_admission=False)
                 if executor is not None:
                     active += 1
+
+    def score_batch(self, ctx: SchedulingContext, app: SparkApplication,
+                    features: NodeFeatures) -> np.ndarray:
+        """Free memory as the score, NaN where Pairwise may not place.
+
+        Eligibility mirrors the scalar scan's skip set: the node is up,
+        hosts fewer than two applications, does not already run ``app``,
+        and the (occupancy-dependent) heap budget is at least 1 GB; the
+        free-memory score with stable ties reproduces
+        ``nodes_by_free_memory`` order.
+        """
+        eligible = self._usable_mask(features) & ~features.hosts_app(app)
+        return np.where(eligible, features.free_gb, np.nan)
+
+    def _usable_mask(self, features: NodeFeatures) -> np.ndarray:
+        """App-independent part of the eligibility test."""
+        budget = np.where(features.n_apps > 0, features.free_gb,
+                          features.ram_gb * self.default_heap_fraction)
+        return features.up & (features.n_apps < 2) & (budget >= 1.0)
+
+    # ------------------------------------------------------------------
+    # Scalar parity oracle (the object kernel's path)
+    # ------------------------------------------------------------------
+    def schedule_scalar(self, ctx: SchedulingContext) -> None:
+        for app in ctx.waiting_apps():
+            desired = self.allocation_policy.desired_executors(app.input_gb)
+            active = len(app.active_executors)
+            if active >= desired:
+                continue
+            self._schedule_app_scalar(ctx, app, desired, active)
+
+    def _schedule_app_scalar(self, ctx: SchedulingContext,
+                             app: SparkApplication,
+                             desired: int, active: int) -> None:
+        for node in ctx.cluster.nodes_by_free_memory():
+            if active >= desired or app.unassigned_gb <= 1e-6:
+                break
+            co_running = node.applications()
+            if app.name in co_running:
+                continue
+            if len(co_running) >= 2:
+                continue
+            if co_running:
+                # The co-locating task gets every remaining gigabyte.
+                budget = node.free_reserved_memory_gb
+            else:
+                budget = node.ram_gb * self.default_heap_fraction
+            if budget < 1.0:
+                continue
+            data = min(self.allocation_policy.default_split_gb(app.input_gb),
+                       app.unassigned_gb)
+            # Pairwise has no notion of CPU demand, so no admission test.
+            executor = ctx.spawn_executor(app, node.node_id, budget, data,
+                                          enforce_admission=False)
+            if executor is not None:
+                active += 1

@@ -58,6 +58,13 @@ class SparkApplication:
     unassigned_gb: float = field(init=False)
     _rdd: RDD | None = field(default=None, init=False, repr=False)
 
+    # Queue-slot view plumbing (class attributes, NOT dataclass fields):
+    # once the simulator admits the app, ``ClusterState.adopt_app`` points
+    # these at the owning state and the app's submit-order slot so the
+    # mutators below dual-write the APP_DTYPE columns.
+    _qstate = None
+    _qslot = None
+
     def __post_init__(self) -> None:
         if self.input_gb <= 0:
             raise ValueError("input_gb must be positive")
@@ -110,6 +117,8 @@ class SparkApplication:
             raise ValueError("amount_gb cannot be negative")
         granted = min(amount_gb, self.unassigned_gb)
         self.unassigned_gb -= granted
+        if self._qstate is not None:
+            self._qstate._app["unassigned_gb"][self._qslot] = self.unassigned_gb
         return granted
 
     def return_unassigned(self, amount_gb: float) -> None:
@@ -117,6 +126,8 @@ class SparkApplication:
         if amount_gb < 0:
             raise ValueError("amount_gb cannot be negative")
         self.unassigned_gb = min(self.unassigned_gb + amount_gb, self.input_gb)
+        if self._qstate is not None:
+            self._qstate._app["unassigned_gb"][self._qslot] = self.unassigned_gb
 
     def add_executor(self, executor: Executor) -> None:
         """Register a newly spawned executor with the application."""
@@ -135,6 +146,8 @@ class SparkApplication:
         """Record application completion."""
         self.state = ApplicationState.FINISHED
         self.finish_time = now
+        if self._qstate is not None:
+            self._qstate.app_finished_slot(self._qslot)
 
     # ------------------------------------------------------------------
     # Metrics helpers

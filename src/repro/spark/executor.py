@@ -57,13 +57,14 @@ class Executor:
     """
 
     __slots__ = ("app_name", "node_id", "memory_budget_gb", "cpu_demand",
-                 "threads", "executor_id", "state",
+                 "threads", "executor_id", "state", "app_index",
                  "_assigned_gb", "_processed_gb", "_node", "_state", "_slot")
 
     def __init__(self, app_name: str, node_id: int, memory_budget_gb: float,
                  assigned_gb: float, cpu_demand: float, threads: int = 1,
                  executor_id: int | None = None, processed_gb: float = 0.0,
-                 state: ExecutorState = ExecutorState.RUNNING) -> None:
+                 state: ExecutorState = ExecutorState.RUNNING,
+                 app_index: int = -1) -> None:
         if memory_budget_gb <= 0:
             raise ValueError("memory_budget_gb must be positive")
         if assigned_gb < 0:
@@ -80,6 +81,10 @@ class Executor:
         self.executor_id = (next(_EXECUTOR_IDS) if executor_id is None
                             else executor_id)
         self.state = state
+        # Integer identity of the owning application (its submission
+        # index), used by the vectorized per-node colocation counts;
+        # -1 for executors spawned outside a simulator run.
+        self.app_index = app_index
         self._assigned_gb = assigned_gb
         self._processed_gb = processed_gb
         # Back-reference to the hosting Node, set by Node.add_executor;

@@ -1,0 +1,98 @@
+"""Batch-vs-scalar parity: the vector kernel is bit-identical per scheme.
+
+The vector kernel routes every scheme's placement through the batched
+paths PR 7 introduced — ``score_batch`` column scoring over the
+``NodeFeatures`` snapshot and the one-shot ``footprint_batch`` estimator
+prefetch — while the object kernel keeps the per-object Python walks as
+the scalar parity oracle.  These tests run every registered scheme on
+the L1/L5/churn20 scenarios under both engines and assert the two
+kernels produce the *same trajectory*: identical event streams,
+identical per-application finish times, identical headline metrics.
+Any ulp of drift in a batched score or a batched footprint forks a
+placement and fails the event-stream comparison immediately.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cluster.simulator import KERNELS, ClusterSimulator
+from repro.core.moe import MixtureOfExperts
+from repro.core.training import collect_training_data
+from repro.metrics.throughput import evaluate_schedule
+from repro.scenarios import load_scenario
+from repro.scheduling.registry import build_scheduler, scheme_names
+from repro.spark.driver import DynamicAllocationPolicy
+
+SCENARIOS = ("L1", "L5", "churn20")
+ENGINES = ("event", "fixed")
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def artefacts():
+    """The trained artefacts the learned schemes need, built once."""
+    dataset = collect_training_data(seed=0)
+    return SimpleNamespace(dataset=dataset,
+                           moe=MixtureOfExperts.from_dataset(dataset))
+
+
+@pytest.fixture(scope="module")
+def mixes():
+    """One deterministic mix per scenario, shared across all cells."""
+    out = {}
+    for name in SCENARIOS:
+        spec = load_scenario(name)
+        out[name] = (spec, spec.make_mixes(n_mixes=1, seed=SEED)[0])
+    return out
+
+
+def run_cell(scheme, artefacts, spec, jobs, engine, kernel):
+    cluster = spec.build_cluster()
+    policy = DynamicAllocationPolicy(max_executors=len(cluster))
+    scheduler = build_scheduler(scheme, artefacts, allocation_policy=policy)
+    simulator = ClusterSimulator(cluster, scheduler, seed=SEED,
+                                 step_mode=engine, kernel=kernel,
+                                 max_time_min=spec.max_time_min,
+                                 faults=spec.faults)
+    result = simulator.run(jobs)
+    return result, evaluate_schedule(result, jobs, policy)
+
+
+def assert_trajectories_identical(scheme, scenario, engine, vector, oracle):
+    vector_result, vector_eval = vector
+    oracle_result, oracle_eval = oracle
+    label = f"{scheme} on {scenario} ({engine} engine)"
+    # The event stream is the full decision record: one differently
+    # scored node or differently sized executor reorders it.
+    vector_events = [(e.kind, e.time, getattr(e, "app", None),
+                      getattr(e, "node_id", None))
+                     for e in vector_result.events.events]
+    oracle_events = [(e.kind, e.time, getattr(e, "app", None),
+                      getattr(e, "node_id", None))
+                     for e in oracle_result.events.events]
+    assert vector_events == oracle_events, (
+        f"{label}: vector kernel's event stream diverged from the "
+        f"scalar oracle's")
+    for name, app in oracle_result.apps.items():
+        twin = vector_result.apps[name]
+        assert twin.finish_time == app.finish_time, (
+            f"{label}: {name!r} finish time differs "
+            f"(vector={twin.finish_time} scalar={app.finish_time})")
+        assert twin.processed_gb == app.processed_gb, (
+            f"{label}: {name!r} processed volume differs")
+    assert vector_eval == oracle_eval, (
+        f"{label}: headline metrics differ "
+        f"(vector={vector_eval} scalar={oracle_eval})")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("scheme", sorted(scheme_names()))
+def test_vector_kernel_matches_scalar_oracle(scheme, scenario, engine,
+                                             artefacts, mixes):
+    assert set(KERNELS) == {"vector", "object"}
+    spec, jobs = mixes[scenario]
+    vector = run_cell(scheme, artefacts, spec, jobs, engine, "vector")
+    oracle = run_cell(scheme, artefacts, spec, jobs, engine, "object")
+    assert_trajectories_identical(scheme, scenario, engine, vector, oracle)

@@ -1,5 +1,6 @@
 """Tests for the memory estimators behind the co-location schedulers."""
 
+import numpy as np
 import pytest
 
 from repro.core.moe import MixtureOfExperts
@@ -124,3 +125,62 @@ class TestUnifiedAndQuasarEstimators:
     def test_quasar_rejects_bad_quantum(self, dataset):
         with pytest.raises(ValueError):
             QuasarEstimator(dataset=dataset, allocation_quantum_gb=0.0)
+
+
+class TestFootprintBatch:
+    """One-shot batched inference must be bit-identical to per-row calls.
+
+    ``footprint_batch`` is the contract behind the co-location
+    dispatcher's per-epoch prefetch: any ulp of drift between a batched
+    prediction and the equivalent ``footprint_gb`` call would fork a
+    placement against the scalar parity oracle, so equality here is
+    exact (``==``), never approximate.
+    """
+
+    QUERIES = [("BDB.PageRank", 20.0), ("HB.PageRank", 3.5),
+               ("SP.Kmeans", 0.25), ("BDB.PageRank", 7.75),
+               ("HB.Sort", 40.0)]
+
+    def prepared(self, estimator):
+        names, datas = [], []
+        for benchmark, data_gb in self.QUERIES:
+            app, spec = make_app(benchmark, 200.0)
+            estimator.prepare(app, spec)
+            names.append(app.name)
+            datas.append(data_gb)
+        return names, np.asarray(datas, dtype=np.float64)
+
+    def assert_batch_matches_rows(self, estimator):
+        names, datas = self.prepared(estimator)
+        batched = estimator.footprint_batch(names, datas)
+        assert batched.dtype == np.float64
+        assert batched.shape == (len(names),)
+        for i, (name, data_gb) in enumerate(zip(names, datas)):
+            assert batched[i] == estimator.footprint_gb(name, float(data_gb)), (
+                f"{type(estimator).__name__}: batched footprint for "
+                f"{name!r}@{data_gb}GB drifted from the scalar call")
+
+    def test_oracle_batch_is_bit_identical(self):
+        self.assert_batch_matches_rows(OracleEstimator())
+
+    def test_moe_batch_is_bit_identical(self, moe):
+        self.assert_batch_matches_rows(MoEEstimator(moe=moe))
+
+    def test_quasar_batch_is_bit_identical(self, dataset):
+        self.assert_batch_matches_rows(QuasarEstimator(dataset=dataset))
+
+    def test_unified_family_batch_is_bit_identical(self):
+        self.assert_batch_matches_rows(UnifiedFamilyEstimator("exponential"))
+
+    def test_ann_batch_is_bit_identical(self, dataset):
+        # The override that actually amortizes the feature pipeline — the
+        # forward pass stays row-at-a-time because BLAS matrix-matrix
+        # products are not bit-stable against row-vector products.
+        self.assert_batch_matches_rows(
+            ANNUnifiedEstimator(dataset=dataset, n_iter=800))
+
+    def test_empty_batch(self, dataset):
+        for estimator in (OracleEstimator(),
+                          ANNUnifiedEstimator(dataset=dataset, n_iter=800)):
+            out = estimator.footprint_batch([], np.zeros(0))
+            assert out.shape == (0,)
