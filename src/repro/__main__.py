@@ -1,0 +1,14 @@
+"""``python -m repro`` — alias for the experiments CLI.
+
+Makes the short invocations from the docs work directly::
+
+    python -m repro env-train --scenario churn20 --iters 100 \
+        --checkpoint policy.npz
+    python -m repro env-rollout --scenario churn20 --policy learned
+    python -m repro fig6 --quick
+"""
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

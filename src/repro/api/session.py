@@ -279,17 +279,22 @@ class Session:
     def rollout(self, scenario, policy="random", *, seed: int = 11,
                 engine: str = "event", kernel: str = "vector",
                 reward: str = "stp_delta",
-                time_step_min: float = 0.5, max_steps: int | None = None):
+                time_step_min: float = 0.5, max_steps: int | None = None,
+                record_rewards: bool = False):
         """Run one scheduling-environment episode; returns an
         :class:`~repro.env.EpisodeResult`.
 
-        ``policy`` is a policy name — ``"random"``, ``"greedy"``, or any
+        ``policy`` is a policy name — ``"random"``, ``"greedy"``, any
         registered scheme name (run through a
         :class:`~repro.env.PolicyAdapter` sharing this session's trained
-        artefacts and disk cache) — or a :class:`repro.env.Policy`
+        artefacts and disk cache), or a ``learned:<checkpoint>`` spec
+        (served from the session-transcending checkpoint model cache,
+        see :meth:`learned_model`) — or a :class:`repro.env.Policy`
         instance.  ``scenario`` resolves like everywhere else: registry
         name, spec JSON path, or a
         :class:`~repro.scenarios.spec.ScenarioSpec`.
+        ``record_rewards`` keeps the per-step reward trace on the
+        result.
         """
         from repro.env import Policy, make_policy
         from repro.env import rollout as run_episode
@@ -304,7 +309,23 @@ class Session:
                             f"not {type(policy).__name__}")
         return run_episode(scenario, policy, seed=seed, engine=engine,
                            kernel=kernel, reward=reward,
-                           time_step_min=time_step_min, max_steps=max_steps)
+                           time_step_min=time_step_min, max_steps=max_steps,
+                           record_rewards=record_rewards)
+
+    def learned_model(self, checkpoint=None):
+        """The policy network behind a ``learned`` checkpoint, cached.
+
+        The learned scheme's artefact is a checkpoint file rather than a
+        trained dataset/MoE, so it rides the checkpoint model cache
+        (keyed by resolved path, mtime and size — an overwritten file is
+        reloaded, an unchanged one is free) instead of the suite cache.
+        ``checkpoint=None`` resolves like the scheme itself:
+        ``$REPRO_LEARNED_CHECKPOINT``, then the committed package
+        default.
+        """
+        from repro.env.train.scheme import load_policy_model
+
+        return load_policy_model(checkpoint)
 
     # ------------------------------------------------------------------
     # Internals

@@ -20,7 +20,11 @@ learned, or external — becomes a policy over the same observable state:
 * :class:`RandomPolicy` / :class:`GreedyPolicy` — the baseline floor;
 * :func:`rollout` / :class:`EpisodeResult` — one-call episode runner
   with a typed, JSON-round-trippable outcome (also available as
-  :meth:`repro.api.Session.rollout`).
+  :meth:`repro.api.Session.rollout`);
+* :mod:`repro.env.train` — the training subsystem: a pure-numpy
+  REINFORCE learner (:class:`ReinforceLearner`/:class:`TrainConfig`/
+  :class:`TrainResult`) over this environment, and the
+  :class:`LearnedPolicy` side of the ``learned`` scheme it produces.
 
 Quickstart::
 
@@ -57,6 +61,12 @@ from repro.env.policies import (
     make_policy,
 )
 from repro.env.rollout import EpisodeResult, rollout
+from repro.env.train import (
+    LearnedPolicy,
+    ReinforceLearner,
+    TrainConfig,
+    TrainResult,
+)
 
 __all__ = [
     # environment
@@ -83,4 +93,9 @@ __all__ = [
     # rollout
     "rollout",
     "EpisodeResult",
+    # training subsystem entry points (full surface: repro.env.train)
+    "ReinforceLearner",
+    "TrainConfig",
+    "TrainResult",
+    "LearnedPolicy",
 ]

@@ -70,6 +70,11 @@ class NodeView:
     scheduler's own bookkeeping), ``cpu_headroom`` the admission-test
     headroom capped by the resource monitor's reported load — both read
     through the same context accessors native schedulers use.
+    ``cpu_reserved`` is the pure reservation-side CPU load (no monitor
+    cap); unlike the monitor's windowed reports it only changes at
+    wake-points, which is what makes it safe for policies — the learned
+    featurizer in particular — that must decide identically across the
+    event and fixed-step engines.
     """
 
     node_id: int
@@ -79,6 +84,7 @@ class NodeView:
     is_up: bool
     speed_factor: float
     active_executors: int
+    cpu_reserved: float = 0.0
 
     def to_dict(self) -> dict:
         """JSON-ready dict form."""
@@ -90,6 +96,7 @@ class NodeView:
             "is_up": self.is_up,
             "speed_factor": self.speed_factor,
             "active_executors": self.active_executors,
+            "cpu_reserved": self.cpu_reserved,
         }
 
 
@@ -260,6 +267,7 @@ class ObservationBuilder:
             is_up=node.is_up,
             speed_factor=node.speed_factor,
             active_executors=len(node.active_executors()),
+            cpu_reserved=node.reserved_cpu_load,
         ) for node in sim.cluster.nodes)
         return Observation(
             time_min=now,

@@ -13,8 +13,10 @@ Three shipped policies:
   engine path bit-for-bit.
 
 :func:`make_policy` resolves a policy name the way the CLI and
-:meth:`repro.api.Session.rollout` do: ``"random"``, ``"greedy"``, or any
-registered scheme name.
+:meth:`repro.api.Session.rollout` do: ``"random"``, ``"greedy"``, any
+registered scheme name, or a ``learned:<checkpoint>`` spec naming a
+trained policy-network checkpoint to serve through
+:class:`repro.env.train.LearnedPolicy`.
 """
 
 from __future__ import annotations
@@ -85,6 +87,14 @@ class RandomPolicy(Policy):
         self._rng = np.random.default_rng(seed)
 
     def reset(self, seed: int) -> None:
+        """Re-seed the generator; idempotent per seed.
+
+        Calling ``reset(s)`` any number of times always leaves the
+        policy in the same state: the subsequent action stream depends
+        only on ``s``, never on how often (or with what) the policy was
+        reset or acted before.  :func:`repro.env.rollout` relies on this
+        to make episodes reproducible when one policy object is reused.
+        """
         self._rng = np.random.default_rng(seed)
 
     def act(self, observation: Observation) -> Action:
@@ -124,6 +134,14 @@ class GreedyPolicy(Policy):
 
     def __init__(self, min_memory_gb: float = 2.0) -> None:
         self.min_memory_gb = min_memory_gb
+
+    def reset(self, seed: int) -> None:
+        """No-op — Greedy is stateless, so reset is trivially idempotent.
+
+        Kept explicit (rather than inheriting the base no-op) so the
+        idempotency contract shared with :meth:`RandomPolicy.reset` is
+        documented and tested in one obvious place.
+        """
 
     def act(self, observation: Observation) -> Action:
         free = {n.node_id: n.free_memory_gb for n in observation.up_nodes}
@@ -201,11 +219,15 @@ class PolicyAdapter(Policy):
 
 
 def make_policy(name: str, suite=None, seed: int | None = None) -> Policy:
-    """Resolve a policy name: a baseline or any registered scheme.
+    """Resolve a policy name: a baseline, a scheme, or a checkpoint spec.
 
-    ``"random"`` and ``"greedy"`` build the baselines; every other name
-    must be a registered scheduling scheme and yields a
-    :class:`PolicyAdapter` over it.  Unknown names raise
+    ``"random"`` and ``"greedy"`` build the baselines; a
+    ``learned:<checkpoint>`` spec serves the named policy-network
+    checkpoint through :class:`repro.env.train.LearnedPolicy`
+    (deterministic greedy actions, the same decisions the native
+    ``learned`` scheme makes); every other name must be a registered
+    scheduling scheme and yields a :class:`PolicyAdapter` over it.
+    Unknown names raise
     :class:`~repro.scheduling.registry.UnknownSchemeError` listing both
     the baselines and the registered schemes.
     """
@@ -213,6 +235,14 @@ def make_policy(name: str, suite=None, seed: int | None = None) -> Policy:
         return RandomPolicy(seed=seed)
     if name == "greedy":
         return GreedyPolicy()
+    if name.startswith("learned:"):
+        from repro.env.train.scheme import LearnedPolicy
+
+        checkpoint = name.split(":", 1)[1]
+        if not checkpoint:
+            raise ValueError("empty checkpoint path in policy spec "
+                             f"{name!r}; use learned:<path.npz>")
+        return LearnedPolicy(checkpoint=checkpoint)
     if is_registered(name):
         return PolicyAdapter(name, suite=suite)
     raise UnknownSchemeError([name], POLICY_BASELINES + scheme_names())

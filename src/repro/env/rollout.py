@@ -50,9 +50,14 @@ class EpisodeResult:
     mean_utilization_percent: float
     jobs: tuple[JobRecord, ...]
     faults: FaultSummary | None = None
+    #: Optional per-step reward trace (``record_rewards=True`` episodes);
+    #: sums to ``total_reward``.  Training curves and eval episodes share
+    #: this one telemetry shape.
+    rewards: tuple[float, ...] | None = None
 
     @classmethod
-    def from_env(cls, env: SchedulingEnv, policy_name: str) -> "EpisodeResult":
+    def from_env(cls, env: SchedulingEnv, policy_name: str, *,
+                 rewards: tuple[float, ...] | None = None) -> "EpisodeResult":
         """Fold a completed environment episode into a typed record."""
         evaluation = env.evaluation()  # raises on horizon truncation
         result = env.result()
@@ -71,6 +76,7 @@ class EpisodeResult:
             mean_utilization_percent=evaluation.mean_utilization_percent,
             jobs=job_records(result, env.jobs, env.allocation_policy),
             faults=result.fault_summary,
+            rewards=rewards,
         )
 
     def to_dict(self) -> dict:
@@ -92,6 +98,8 @@ class EpisodeResult:
         }
         if self.faults is not None:
             payload["faults"] = self.faults.to_dict()
+        if self.rewards is not None:
+            payload["rewards"] = list(self.rewards)
         return payload
 
     @classmethod
@@ -102,6 +110,8 @@ class EpisodeResult:
                                for record in kwargs["jobs"])
         if kwargs.get("faults") is not None:
             kwargs["faults"] = FaultSummary.from_dict(kwargs["faults"])
+        if kwargs.get("rewards") is not None:
+            kwargs["rewards"] = tuple(kwargs["rewards"])
         return cls(**kwargs)
 
     def to_json(self, path: str | Path | None = None, *,
@@ -131,19 +141,24 @@ class EpisodeResult:
 def rollout(scenario, policy: Policy, *, seed: int = 11,
             engine: str = "event", kernel: str = "vector",
             reward: str = "stp_delta", time_step_min: float = 0.5,
-            max_steps: int | None = None) -> EpisodeResult:
+            max_steps: int | None = None,
+            record_rewards: bool = False) -> EpisodeResult:
     """Run one full episode of ``policy`` on ``scenario``.
 
     ``max_steps`` bounds the number of decision epochs (a safety net for
     policies that never place anything under the fixed-step engine,
     where every grid step is an epoch); exceeding it raises
     ``RuntimeError`` naming the scenario and step count.
+    ``record_rewards`` keeps the per-step reward trace on the result
+    (``EpisodeResult.rewards``) — the learner's training signal and the
+    eval episode then share one telemetry shape.
     """
     env = SchedulingEnv(scenario, engine=engine, kernel=kernel,
                         reward=reward, time_step_min=time_step_min)
     policy.reset(seed)
     observation = env.reset(seed=seed,
                             scheduler_factory=policy.make_scheduler)
+    rewards: list[float] | None = [] if record_rewards else None
     done = False
     while not done:
         if max_steps is not None and env.steps >= max_steps:
@@ -152,5 +167,9 @@ def rollout(scenario, policy: Policy, *, seed: int = 11,
                 f"episode on {env.spec.name!r} exceeded max_steps="
                 f"{max_steps} without completing; the policy may never "
                 "be placing work")
-        observation, _, done, _ = env.step(policy.act(observation))
-    return EpisodeResult.from_env(env, policy.name)
+        observation, step_reward, done, _ = env.step(policy.act(observation))
+        if rewards is not None:
+            rewards.append(step_reward)
+    return EpisodeResult.from_env(
+        env, policy.name,
+        rewards=tuple(rewards) if rewards is not None else None)

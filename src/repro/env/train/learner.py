@@ -1,0 +1,463 @@
+"""REINFORCE over the scheduling environment, end-to-end deterministic.
+
+:class:`ReinforceLearner` trains the numpy policy network on one
+scenario: every iteration samples a batch of episodes through
+:class:`~repro.env.train.workers.EpisodeCollector`, turns each episode's
+return into an advantage against a **per-environment-seed** baseline (an
+exponential moving average of that seed's past returns — mix difficulty
+varies far more across seeds than actions do within one, so a global
+baseline would drown the learning signal in seed noise), and applies one
+manually backpropagated policy-gradient + entropy step through a numpy
+Adam optimizer.  Learning rate and entropy coefficient anneal linearly
+over the run; the entropy coefficient may anneal *negative*, turning the
+early exploration bonus into a late sharpening penalty that pulls the
+sampled distribution onto its mode — which is what the deterministic
+argmax serving path (``learned`` scheme) executes.
+
+Everything is a pure function of :class:`TrainConfig` — episode seeds,
+sampling seeds and parameter init all derive from ``config.seed``, no
+wall-clock anywhere — so the same config reproduces the same
+:class:`TrainResult` curve and the same checkpoint bytes, on any worker
+count.  :class:`TrainResult` is JSON round-trippable like
+:class:`~repro.env.EpisodeResult`, carrying the full training-curve
+telemetry (:class:`IterationStats` per iteration).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.scenarios.registry import load_scenario
+
+from .features import FeatureConfig
+from .model import PolicyNetwork, log_softmax
+from .scheme import LearnedPolicy
+from .workers import EpisodeCollector, EpisodeSpec, Trajectory
+
+__all__ = ["TrainConfig", "IterationStats", "TrainResult", "Adam",
+           "ReinforceLearner"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters of one training run (JSON round-trippable).
+
+    ``episode_seeds`` are the environment seeds the batch cycles over
+    each iteration; ``None`` derives ``episodes_per_iter`` consecutive
+    seeds from ``seed``.  ``eval_seed`` (default: the first episode
+    seed) drives the deterministic greedy evaluation episode that
+    selects the checkpointed iterate.  ``entropy_beta`` anneals linearly
+    to ``entropy_beta_min``, which may be *negative*: the run then ends
+    in a sharpening phase that pushes probability mass onto the
+    distribution's mode, shrinking the gap between the sampled training
+    policy and the argmax serving policy.
+    """
+
+    iters: int = 150
+    episodes_per_iter: int = 8
+    seed: int = 0
+    hidden: tuple[int, ...] = (32, 32)
+    lr: float = 0.02
+    lr_min: float = 0.002
+    entropy_beta: float = 0.005
+    entropy_beta_min: float = -0.08
+    grad_clip: float = 10.0
+    reward: str = "stp_delta"
+    engine: str = "event"
+    kernel: str = "vector"
+    episode_seeds: tuple[int, ...] | None = None
+    eval_seed: int | None = None
+    eval_every: int = 5
+    max_steps: int = 20000
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iters < 1:
+            raise ValueError("iters must be at least 1")
+        if self.episodes_per_iter < 1:
+            raise ValueError("episodes_per_iter must be at least 1")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be at least 1")
+        object.__setattr__(self, "hidden", tuple(self.hidden))
+        if self.episode_seeds is not None:
+            object.__setattr__(self, "episode_seeds",
+                               tuple(self.episode_seeds))
+
+    def resolved_episode_seeds(self) -> tuple[int, ...]:
+        """The environment seeds one iteration's batch cycles over."""
+        if self.episode_seeds is not None:
+            return self.episode_seeds
+        return tuple(range(self.seed, self.seed + self.episodes_per_iter))
+
+    def resolved_eval_seed(self) -> int:
+        """The environment seed of the deterministic eval episode."""
+        if self.eval_seed is not None:
+            return self.eval_seed
+        return self.resolved_episode_seeds()[0]
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict form."""
+        return {
+            "iters": self.iters,
+            "episodes_per_iter": self.episodes_per_iter,
+            "seed": self.seed,
+            "hidden": list(self.hidden),
+            "lr": self.lr,
+            "lr_min": self.lr_min,
+            "entropy_beta": self.entropy_beta,
+            "entropy_beta_min": self.entropy_beta_min,
+            "grad_clip": self.grad_clip,
+            "reward": self.reward,
+            "engine": self.engine,
+            "kernel": self.kernel,
+            "episode_seeds": (None if self.episode_seeds is None
+                              else list(self.episode_seeds)),
+            "eval_seed": self.eval_seed,
+            "eval_every": self.eval_every,
+            "max_steps": self.max_steps,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainConfig":
+        """Inverse of :meth:`to_dict`."""
+        kwargs = dict(payload)
+        kwargs["hidden"] = tuple(kwargs["hidden"])
+        if kwargs.get("episode_seeds") is not None:
+            kwargs["episode_seeds"] = tuple(kwargs["episode_seeds"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Telemetry of one training iteration (one training-curve point).
+
+    ``eval_stp`` is the deterministic greedy-policy STP on the eval
+    seed, present on evaluation iterations (every ``eval_every``-th and
+    the last), ``None`` otherwise.
+    """
+
+    iteration: int
+    mean_return: float
+    min_return: float
+    max_return: float
+    mean_entropy: float
+    grad_norm: float
+    lr: float
+    entropy_beta: float
+    eval_stp: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict form."""
+        return {
+            "iteration": self.iteration,
+            "mean_return": self.mean_return,
+            "min_return": self.min_return,
+            "max_return": self.max_return,
+            "mean_entropy": self.mean_entropy,
+            "grad_norm": self.grad_norm,
+            "lr": self.lr,
+            "entropy_beta": self.entropy_beta,
+            "eval_stp": self.eval_stp,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IterationStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """Outcome of one training run (JSON round-trippable).
+
+    The environment-layer sibling of
+    :class:`~repro.env.EpisodeResult` for training: scenario, config,
+    the full per-iteration curve, and which iterate the checkpoint
+    kept (the best eval STP seen).
+    """
+
+    scenario: str
+    config: TrainConfig
+    curve: tuple[IterationStats, ...]
+    best_eval_stp: float
+    best_iteration: int
+    final_eval_stp: float
+    checkpoint: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict form."""
+        return {
+            "scenario": self.scenario,
+            "config": self.config.to_dict(),
+            "curve": [stats.to_dict() for stats in self.curve],
+            "best_eval_stp": self.best_eval_stp,
+            "best_iteration": self.best_iteration,
+            "final_eval_stp": self.final_eval_stp,
+            "checkpoint": self.checkpoint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainResult":
+        """Inverse of :meth:`to_dict`."""
+        kwargs = dict(payload)
+        kwargs["config"] = TrainConfig.from_dict(kwargs["config"])
+        kwargs["curve"] = tuple(IterationStats.from_dict(stats)
+                                for stats in kwargs["curve"])
+        return cls(**kwargs)
+
+    def to_json(self, path: str | Path | None = None, *,
+                indent: int = 2) -> str:
+        """Serialise to JSON, optionally writing the document to a file."""
+        text = json.dumps(self.to_dict(), indent=indent) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "TrainResult":
+        """Load a result from a JSON string or file path."""
+        if isinstance(source, Path):
+            text = source.read_text()
+        elif source.lstrip().startswith("{"):
+            text = source
+        else:
+            text = Path(source).read_text()
+        return cls.from_dict(json.loads(text))
+
+
+class Adam:
+    """Plain numpy Adam over the policy network's parameter list."""
+
+    def __init__(self, model: PolicyNetwork, *, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self._m = [(np.zeros_like(w), np.zeros_like(b))
+                   for w, b in zip(model.weights, model.biases)]
+        self._v = [(np.zeros_like(w), np.zeros_like(b))
+                   for w, b in zip(model.weights, model.biases)]
+
+    def step(self, model: PolicyNetwork,
+             grads: list[tuple[np.ndarray, np.ndarray]], lr: float) -> None:
+        """Apply one Adam update in place."""
+        self.t += 1
+        correct1 = 1.0 - self.beta1 ** self.t
+        correct2 = 1.0 - self.beta2 ** self.t
+        for layer, (dw, db) in enumerate(grads):
+            for slot, grad, param in ((0, dw, model.weights[layer]),
+                                      (1, db, model.biases[layer])):
+                m = self._m[layer][slot]
+                v = self._v[layer][slot]
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad * grad
+                param -= lr * (m / correct1) / (np.sqrt(v / correct2)
+                                                + self.eps)
+
+
+class ReinforceLearner:
+    """Policy-gradient trainer binding a scenario to a policy network."""
+
+    def __init__(self, scenario, config: TrainConfig | None = None) -> None:
+        self.spec = load_scenario(scenario)
+        self.config = config or TrainConfig()
+        self.model = PolicyNetwork(self.config.hidden, seed=self.config.seed,
+                                   feature_config=FeatureConfig())
+        self._adam = Adam(self.model)
+        #: Per-episode-seed EMA of episode returns (the REINFORCE baseline).
+        self._baselines: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # schedules
+    # ------------------------------------------------------------------
+
+    def _anneal(self, start: float, end: float, iteration: int) -> float:
+        """Linear schedule from ``start`` (iter 0) to ``end`` (last)."""
+        if self.config.iters == 1:
+            return start
+        frac = iteration / (self.config.iters - 1)
+        return start + (end - start) * frac
+
+    # ------------------------------------------------------------------
+    # update
+    # ------------------------------------------------------------------
+
+    #: Decay of the per-seed return baseline EMA.
+    BASELINE_DECAY = 0.8
+
+    def _update(self, trajectories: list[Trajectory], lr: float,
+                beta: float) -> tuple[float, float]:
+        """One REINFORCE + entropy step; returns (entropy, |grad|).
+
+        Each episode's advantage is its total return minus the EMA
+        baseline of *its own environment seed* (zero the first time a
+        seed is seen), shared by every decision of the episode and
+        scaled by the batch standard deviation.  The hand-derived logit
+        gradient is ``-adv * (onehot - p)`` for the policy term and
+        ``beta * p * (log p + H)`` for the entropy term (gradient of
+        ``-beta * H``; negative ``beta`` sharpens instead of exploring),
+        averaged over every decision in the batch.
+        """
+        episode_advantages = []
+        for trajectory in trajectories:
+            baseline = self._baselines.get(trajectory.episode_seed)
+            episode_advantages.append(
+                0.0 if baseline is None
+                else trajectory.total_reward - baseline)
+            self._baselines[trajectory.episode_seed] = (
+                trajectory.total_reward if baseline is None
+                else (self.BASELINE_DECAY * baseline
+                      + (1.0 - self.BASELINE_DECAY) * trajectory.total_reward))
+        episode_advantages = np.asarray(episode_advantages, dtype=np.float64)
+        scale = episode_advantages.std()
+        if scale > 1e-8:
+            episode_advantages = episode_advantages / scale
+
+        grads = self.model.zero_grads()
+        entropies = []
+        n_decisions = 0
+        for advantage, trajectory in zip(episode_advantages, trajectories):
+            for features, choice in trajectory.decisions:
+                logits, acts = self.model.forward_cached(features)
+                logp = log_softmax(logits)
+                probs = np.exp(logp)
+                entropy = float(-(probs * logp).sum())
+                entropies.append(entropy)
+                dlogits = advantage * probs
+                dlogits[choice] -= advantage
+                dlogits += beta * probs * (logp + entropy)
+                self.model.backward(acts, dlogits, grads)
+                n_decisions += 1
+        if not n_decisions:
+            return 0.0, 0.0
+        n_decisions = float(n_decisions)
+        norm_sq = 0.0
+        for dw, db in grads:
+            dw /= n_decisions
+            db /= n_decisions
+            norm_sq += float((dw * dw).sum() + (db * db).sum())
+        grad_norm = float(np.sqrt(norm_sq))
+        if self.config.grad_clip and grad_norm > self.config.grad_clip:
+            shrink = self.config.grad_clip / grad_norm
+            for dw, db in grads:
+                dw *= shrink
+                db *= shrink
+        self._adam.step(self.model, grads, lr)
+        return float(np.mean(entropies)), grad_norm
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, seed: int | None = None) -> float:
+        """Deterministic greedy-policy STP on the (eval) seed."""
+        from repro.env.rollout import rollout
+
+        policy = LearnedPolicy(model=self.model)
+        result = rollout(self.spec, policy,
+                         seed=(self.config.resolved_eval_seed()
+                               if seed is None else seed),
+                         engine=self.config.engine,
+                         kernel=self.config.kernel,
+                         reward=self.config.reward,
+                         max_steps=self.config.max_steps)
+        return result.stp
+
+    # ------------------------------------------------------------------
+    # training loop
+    # ------------------------------------------------------------------
+
+    def train(self, *, checkpoint: str | Path | None = None,
+              progress=None) -> TrainResult:
+        """Run the full training loop; returns the curve telemetry.
+
+        When ``checkpoint`` is given, the parameters with the best eval
+        STP seen are written there (metadata carries scenario, config
+        and provenance), and re-written at the end so the file always
+        holds the best iterate of the *completed* run.  ``progress``
+        is an optional callback receiving each :class:`IterationStats`.
+        """
+        config = self.config
+        episode_seeds = config.resolved_episode_seeds()
+        curve: list[IterationStats] = []
+        best_stp = -np.inf
+        best_iteration = -1
+        best_params: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+        final_eval = -np.inf
+        with EpisodeCollector(self.spec, reward=config.reward,
+                              engine=config.engine, kernel=config.kernel,
+                              max_steps=config.max_steps,
+                              workers=config.workers) as collector:
+            for iteration in range(config.iters):
+                specs = [EpisodeSpec(
+                    episode_seed=episode_seeds[e % len(episode_seeds)],
+                    sample_seed=(config.seed, iteration, e))
+                    for e in range(config.episodes_per_iter)]
+                trajectories = collector.collect(self.model, specs)
+                lr = self._anneal(config.lr, config.lr_min, iteration)
+                beta = self._anneal(config.entropy_beta,
+                                    config.entropy_beta_min, iteration)
+                entropy, grad_norm = self._update(trajectories, lr, beta)
+                totals = [t.total_reward for t in trajectories]
+                eval_stp = None
+                if (iteration % config.eval_every == 0
+                        or iteration == config.iters - 1):
+                    eval_stp = self.evaluate()
+                    final_eval = eval_stp
+                    if eval_stp > best_stp:
+                        best_stp = eval_stp
+                        best_iteration = iteration
+                        best_params = ([w.copy() for w in self.model.weights],
+                                       [b.copy() for b in self.model.biases])
+                stats = IterationStats(
+                    iteration=iteration,
+                    mean_return=float(np.mean(totals)),
+                    min_return=float(np.min(totals)),
+                    max_return=float(np.max(totals)),
+                    mean_entropy=entropy,
+                    grad_norm=grad_norm,
+                    lr=lr,
+                    entropy_beta=beta,
+                    eval_stp=eval_stp,
+                )
+                curve.append(stats)
+                if progress is not None:
+                    progress(stats)
+
+        if best_params is not None:
+            self.model.weights = best_params[0]
+            self.model.biases = best_params[1]
+        checkpoint_path = None
+        if checkpoint is not None:
+            checkpoint_path = str(self.save(checkpoint,
+                                            best_iteration=best_iteration,
+                                            best_eval_stp=best_stp))
+        return TrainResult(
+            scenario=self.spec.name,
+            config=config,
+            curve=tuple(curve),
+            best_eval_stp=float(best_stp),
+            best_iteration=best_iteration,
+            final_eval_stp=float(final_eval),
+            checkpoint=checkpoint_path,
+        )
+
+    def save(self, path: str | Path, *, best_iteration: int = -1,
+             best_eval_stp: float = float("nan")) -> Path:
+        """Write the current (best) parameters as a checkpoint."""
+        self.model.metadata = {
+            "scenario": self.spec.name,
+            "config": self.config.to_dict(),
+            "best_iteration": best_iteration,
+            "best_eval_stp": (None if not np.isfinite(best_eval_stp)
+                              else float(best_eval_stp)),
+        }
+        return self.model.save(path)

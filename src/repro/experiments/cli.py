@@ -76,6 +76,7 @@ def _run_fig6(session, options):
         f"L{i}" for i in range(1, 11))
     results = fig6_overall.run(scenarios=scenarios,
                                n_mixes=2 if options.quick else 5,
+                               include_learned=options.with_learned,
                                engine=options.engine,
                                workers=options.workers, session=session)
     print(fig6_overall.format_table(results))
@@ -88,6 +89,7 @@ def _run_fig9(session, options):
     print(fig9_unified.format_table(
         fig9_unified.run(scenarios=scenarios,
                          n_mixes=1 if options.quick else 3,
+                         include_learned=options.with_learned,
                          engine=options.engine,
                          workers=options.workers, session=session)))
 
@@ -273,6 +275,51 @@ def _run_env_rollout(args) -> int:
     return 0
 
 
+def _run_env_train(args) -> int:
+    """Train a learned scheduler in the gym (``env-train`` mode)."""
+    from repro.env.train import ReinforceLearner, TrainConfig
+
+    spec = _resolve_scenario_spec(args)
+    if spec is None:
+        return 2
+    if not args.checkpoint:
+        print("env-train requires --checkpoint PATH.npz (where the best "
+              "iterate is saved)", file=sys.stderr)
+        return 2
+    try:
+        config = TrainConfig(iters=args.iters,
+                             episodes_per_iter=args.episodes_per_iter,
+                             seed=args.seed, eval_seed=args.eval_seed,
+                             reward=args.reward,
+                             engine=args.engine, kernel=args.kernel,
+                             workers=args.workers)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    learner = ReinforceLearner(spec, config)
+
+    def progress(stats):
+        line = (f"iter {stats.iteration:4d}: "
+                f"return={stats.mean_return:8.3f} "
+                f"[{stats.min_return:.3f}..{stats.max_return:.3f}] "
+                f"entropy={stats.mean_entropy:.3f} "
+                f"|grad|={stats.grad_norm:.4f}")
+        if stats.eval_stp is not None:
+            line += f" eval_STP={stats.eval_stp:.3f}"
+        print(line, flush=True)
+
+    result = learner.train(checkpoint=args.checkpoint, progress=progress)
+    print(f"trained {result.scenario} for {len(result.curve)} iteration(s): "
+          f"best eval STP {result.best_eval_stp:.3f} "
+          f"(iteration {result.best_iteration}), "
+          f"final eval STP {result.final_eval_stp:.3f}")
+    print(f"checkpoint (best iterate) written to {result.checkpoint}")
+    if args.train_json:
+        result.to_json(path=args.train_json)
+        print(f"wrote training curve to {args.train_json}")
+    return 0
+
+
 def _run_scenario_mode(args) -> int:
     """Run one declarative scenario across scheduling schemes."""
     spec = _resolve_scenario_spec(args)
@@ -315,9 +362,11 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's tables and figures, or run a "
                     "declarative scenario.")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment names (see --list), 'all', or "
+                        help="experiment names (see --list), 'all', "
                              "'env-rollout' to run a scheduling-environment "
-                             "episode on --scenario")
+                             "episode on --scenario, or 'env-train' to "
+                             "train a learned scheduler on --scenario "
+                             "(saving --checkpoint)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     parser.add_argument("--list-scenarios", action="store_true",
@@ -348,8 +397,27 @@ def main(argv: list[str] | None = None) -> int:
                              "and arrival processes (default: 11)")
     parser.add_argument("--policy", default="random", metavar="NAME",
                         help="env-rollout mode: the policy driving the "
-                             "episode — 'random', 'greedy', or any "
-                             "registered scheme name (default: random)")
+                             "episode — 'random', 'greedy', any registered "
+                             "scheme name, or 'learned:PATH.npz' to serve a "
+                             "specific trained checkpoint (default: random)")
+    parser.add_argument("--iters", type=int, default=60, metavar="N",
+                        help="env-train mode: training iterations "
+                             "(default: 60)")
+    parser.add_argument("--episodes-per-iter", type=int, default=8,
+                        metavar="N",
+                        help="env-train mode: sampled episodes per "
+                             "iteration (default: 8)")
+    parser.add_argument("--eval-seed", type=int, default=None, metavar="N",
+                        help="env-train mode: environment seed of the "
+                             "deterministic eval episode that selects the "
+                             "checkpointed iterate (default: the first "
+                             "training episode seed)")
+    parser.add_argument("--checkpoint", metavar="PATH.npz",
+                        help="env-train mode: where the best-eval policy "
+                             "checkpoint is written (required)")
+    parser.add_argument("--train-json", metavar="PATH",
+                        help="env-train mode: also write the TrainResult "
+                             "curve telemetry as JSON")
     parser.add_argument("--reward", default="stp_delta",
                         choices=["stp_delta", "antt_delta"],
                         help="env-rollout mode: per-step reward shape "
@@ -365,6 +433,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cells-json", metavar="PATH",
                         help="in --scenario mode, export the typed per-cell "
                              "results (with per-job records) as JSON")
+    parser.add_argument("--with-learned", action="store_true",
+                        help="add the trained 'learned' scheme as an extra "
+                             "column in the fig6/fig9 grids (serves the "
+                             "committed checkpoint unless "
+                             "$REPRO_LEARNED_CHECKPOINT overrides it)")
     parser.add_argument("--quick", action="store_true",
                         help="use reduced simulation grids")
     parser.add_argument("--engine", choices=list(STEP_MODES), default="event",
@@ -433,6 +506,11 @@ def main(argv: list[str] | None = None) -> int:
         if not args.scenario:
             parser.error("env-rollout requires --scenario")
         return _run_env_rollout(args)
+
+    if args.experiments == ["env-train"]:
+        if not args.scenario:
+            parser.error("env-train requires --scenario")
+        return _run_env_train(args)
 
     if args.scenario:
         if args.experiments:

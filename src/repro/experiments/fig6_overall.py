@@ -25,10 +25,17 @@ SCHEMES: tuple[str, ...] = ("pairwise", "quasar", "ours", "oracle")
 
 
 def plan(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
-         include_isolated: bool = False,
+         include_isolated: bool = False, include_learned: bool = False,
          engine: str = "event", workers: int = 1) -> ExperimentPlan:
-    """The declarative Figure 6 grid."""
-    schemes = SCHEMES + (("isolated",) if include_isolated else ())
+    """The declarative Figure 6 grid.
+
+    ``include_learned`` adds the trained ``learned`` scheme (PR 8's
+    policy-gradient checkpoint) as an extra column next to the paper's
+    four; it is opt-in so the published Figure 6 stays byte-stable.
+    """
+    schemes = (SCHEMES
+               + (("learned",) if include_learned else ())
+               + (("isolated",) if include_isolated else ()))
     return ExperimentPlan(schemes=schemes, scenarios=scenarios,
                           n_mixes=n_mixes, seed=seed, engine=engine,
                           workers=workers)
@@ -36,7 +43,7 @@ def plan(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
 
 def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
         suite: SchedulerSuite | None = None,
-        include_isolated: bool = False,
+        include_isolated: bool = False, include_learned: bool = False,
         engine: str = "event", workers: int = 1,
         session: Session | None = None) -> list[ScenarioResult]:
     """Reproduce Figure 6 over the requested scenarios.
@@ -46,7 +53,8 @@ def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
     given ``suite`` (no disk cache involved, as before).
     """
     grid = plan(scenarios=scenarios, n_mixes=n_mixes, seed=seed,
-                include_isolated=include_isolated, engine=engine,
+                include_isolated=include_isolated,
+                include_learned=include_learned, engine=engine,
                 workers=workers)
     if session is not None:
         return session.run(grid)
@@ -56,8 +64,10 @@ def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
 
 def format_table(results: list[ScenarioResult]) -> str:
     """Render STP and ANTT-reduction rows per scenario, like Figure 6."""
+    order = SCHEMES + ("learned", "isolated")
     schemes = sorted({r.scheme for r in results},
-                     key=lambda s: (SCHEMES + ("isolated",)).index(s))
+                     key=lambda s: (order.index(s) if s in order
+                                    else len(order), s))
     scenarios = list(dict.fromkeys(r.scenario for r in results))
     lines = ["Normalized STP (Figure 6a):"]
     header = f"{'scenario':>9s} " + " ".join(f"{s:>12s}" for s in schemes)

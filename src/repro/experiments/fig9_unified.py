@@ -29,11 +29,16 @@ SCHEMES: tuple[str, ...] = (
 
 
 def run(scenarios=DEFAULT_SCENARIOS, n_mixes: int = 3, seed: int = 11,
-        suite: SchedulerSuite | None = None,
+        suite: SchedulerSuite | None = None, include_learned: bool = False,
         engine: str = "event", workers: int = 1,
         session: Session | None = None) -> list[ScenarioResult]:
-    """Reproduce Figure 9 over the requested scenarios."""
-    plan = ExperimentPlan(schemes=SCHEMES, scenarios=scenarios,
+    """Reproduce Figure 9 over the requested scenarios.
+
+    ``include_learned`` appends the trained ``learned`` scheme as one
+    more single-model baseline column (opt-in, like Figure 6's).
+    """
+    schemes = SCHEMES + (("learned",) if include_learned else ())
+    plan = ExperimentPlan(schemes=schemes, scenarios=scenarios,
                           n_mixes=n_mixes, seed=seed, engine=engine,
                           workers=workers)
     if session is not None:

@@ -275,6 +275,21 @@ def _build_oracle(artefacts, **kwargs) -> Scheduler:
     return make_oracle_scheduler(**kwargs)
 
 
+@register_scheme("learned")
+def _build_learned(artefacts, **kwargs) -> Scheduler:
+    """Trained numpy policy network served natively (PR 5 gym, reversed).
+
+    The artefact is a checkpoint, not a dataset/MoE: resolution order is
+    an explicit ``checkpoint=`` kwarg, ``$REPRO_LEARNED_CHECKPOINT``,
+    then the committed package default.  The import is deferred so the
+    scheduling registry never drags the environment layer in unless the
+    scheme is actually built (the env layer imports this module).
+    """
+    from repro.env.train.scheme import build_learned_scheduler
+
+    return build_learned_scheduler(artefacts, **kwargs)
+
+
 @register_scheme("unified_ann", requires="dataset")
 def _build_unified_ann(artefacts, **kwargs) -> Scheduler:
     """Unified neural-network regressor baseline (Figure 9)."""

@@ -1,8 +1,9 @@
 """The documented public surface and the code cannot drift apart.
 
 ``docs/API.md`` is the contract: a name is public iff it sits in one of
-its tables, equivalently in the ``__all__`` of ``repro``, ``repro.api``
-or ``repro.env``.  These tests import every documented name and check
+its tables, equivalently in the ``__all__`` of ``repro``, ``repro.api``,
+``repro.env`` or ``repro.env.train``.  These tests import every
+documented name and check
 set-equality in both directions, so deleting an export, forgetting to
 document one, or documenting a ghost all fail loudly.
 """
@@ -15,10 +16,10 @@ import pytest
 
 API_MD = Path(__file__).resolve().parents[2] / "docs" / "API.md"
 
-#: The three modules whose ``__all__`` is the public surface.
-PUBLIC_MODULES = ("repro", "repro.api", "repro.env")
+#: The modules whose ``__all__`` is the public surface.
+PUBLIC_MODULES = ("repro", "repro.api", "repro.env", "repro.env.train")
 
-_HEADING = re.compile(r"^## `(repro(?:\.\w+)?)`")
+_HEADING = re.compile(r"^## `(repro(?:\.\w+)*)`")
 _NAME = re.compile(r"`(__?[a-z]\w*__|[A-Za-z]\w*)`")
 
 

@@ -78,6 +78,18 @@ class TestEpisodeResultRoundTrip:
             with pytest.raises(TypeError, match="Policy"):
                 session.rollout("L1", policy=42)
 
+    def test_record_rewards_keeps_the_trace_and_round_trips(self):
+        episode = rollout("L1", GreedyPolicy(), seed=11,
+                          record_rewards=True)
+        assert episode.rewards is not None
+        assert len(episode.rewards) == episode.steps
+        assert sum(episode.rewards) == pytest.approx(episode.total_reward)
+        assert EpisodeResult.from_json(episode.to_json()) == episode
+        # The trace stays opt-in: without the flag, no rewards field.
+        bare = rollout("L1", GreedyPolicy(), seed=11)
+        assert bare.rewards is None
+        assert "rewards" not in bare.to_dict()
+
     def test_antt_delta_reward_round_trips(self):
         episode = rollout("L1", GreedyPolicy(), seed=11,
                           reward="antt_delta")

@@ -183,3 +183,33 @@ class TestEnvRollout:
             warnings.simplefilter("error", DeprecationWarning)
             assert cli.main(["env-rollout", "--scenario", "L1",
                              "--policy", "random"]) == 0
+
+
+class TestEnvTrain:
+    def test_trains_saves_and_serves_a_checkpoint(self, tmp_path, capsys):
+        checkpoint = tmp_path / "policy.npz"
+        curve = tmp_path / "curve.json"
+        assert cli.main(["env-train", "--scenario", "L1",
+                         "--iters", "2", "--episodes-per-iter", "2",
+                         "--seed", "0", "--checkpoint", str(checkpoint),
+                         "--train-json", str(curve)]) == 0
+        out = capsys.readouterr().out
+        assert "iter    0:" in out and "best eval STP" in out
+        assert checkpoint.exists()
+        from repro.env.train import TrainResult
+
+        result = TrainResult.from_json(curve)
+        assert result.scenario == "L1" and len(result.curve) == 2
+        # The fresh checkpoint serves through env-rollout.
+        assert cli.main(["env-rollout", "--scenario", "L1",
+                         "--policy", f"learned:{checkpoint}",
+                         "--seed", "7"]) == 0
+        assert "policy=learned" in capsys.readouterr().out
+
+    def test_env_train_requires_a_checkpoint(self, capsys):
+        assert cli.main(["env-train", "--scenario", "L1"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_env_train_requires_a_scenario(self):
+        with pytest.raises(SystemExit):
+            cli.main(["env-train"])
