@@ -31,12 +31,25 @@ the gate additionally checks, per tier present in both reports:
   same-machine object-kernel events/sec (i.e. the gated quantity is
   ``vector_speedup``), so runner hardware cancels out.
 
+When the rollout-throughput reports are passed (``--rollout`` /
+``--rollout-baseline``, produced by ``benchmarks/rollout_throughput.py``),
+the gate additionally checks, per case present in both reports:
+
+* the fast observation path still reproduces the dataclass oracle
+  bit-for-bit (``modes_agree``), and the fast STP equals the committed
+  baseline's exactly (episodes are deterministic per scenario/seed);
+* ``fast_speedup`` — fast steps/sec normalized by the same machine's
+  oracle-mode steps/sec — may regress at most
+  ``--rollout-max-regression`` (default 30 %, looser than the kernel
+  tiers because the quick cases time tens-of-milliseconds episodes).
+
 Usage::
 
     python benchmarks/compare_baseline.py BENCH_pr.json BENCH_baseline.json
     python benchmarks/compare_baseline.py BENCH_pr.json BENCH_baseline.json \
         --throughput BENCH_throughput_pr.json \
-        --throughput-baseline BENCH_throughput.json
+        --throughput-baseline BENCH_throughput.json \
+        --rollout BENCH_rollout_pr.json --rollout-baseline BENCH_rollout.json
 """
 
 from __future__ import annotations
@@ -146,6 +159,64 @@ def check_vector_only_tier(tier: str, entry: dict, pr: dict,
             f"{regression:+.1%} exceeds the {max_regression:.0%} budget")
 
 
+def check_rollout(pr: dict, base: dict, max_regression: float,
+                  failures: list[str]) -> None:
+    """Gate the rollout-throughput report against its committed baseline.
+
+    Per case present in both reports (``benchmarks/rollout_throughput.py``
+    output):
+
+    * ``modes_agree`` must hold absolutely — the fast observation path
+      (``obs_mode="features"`` + candidate row cache) must reproduce the
+      dataclass oracle's episode bit-for-bit, decision traces included;
+    * the fast mode's STP must equal the committed baseline's exactly
+      (episodes are deterministic per scenario/seed, so any drift is a
+      behaviour change, not noise);
+    * ``fast_speedup`` (fast steps/sec over the same machine's oracle
+      steps/sec — hardware cancels) may regress at most
+      ``max_regression`` against the baseline's ratio.
+
+    The report's own ``committed_checkpoint`` pin (churn20 learned STP
+    vs BENCH_learned.json) must also hold when present.
+    """
+    pin = pr.get("committed_checkpoint")
+    if pin is not None and pin.get("matches") is not True:
+        failures.append(
+            f"rollout: churn20 learned STP {pin.get('measured_stp')} no "
+            f"longer matches the committed checkpoint eval "
+            f"{pin.get('committed_stp')} ({pin.get('source')})")
+    for case, entry in sorted(pr.get("cases", {}).items()):
+        if entry.get("modes_agree") is not True:
+            failures.append(
+                f"rollout case {case!r}: fast and oracle observation modes "
+                f"diverge — the array-backed path no longer reproduces the "
+                f"dataclass oracle (modes_agree is not true)")
+            continue
+        reference = base.get("cases", {}).get(case)
+        if reference is None or "fast_speedup" not in reference:
+            print(f"rollout case {case!r}: no committed reference; "
+                  f"skipping the steps/sec gate")
+            continue
+        pr_stp = entry.get("fast", {}).get("stp")
+        base_stp = reference.get("fast", {}).get("stp")
+        if pr_stp != base_stp:
+            failures.append(
+                f"rollout case {case!r}: STP diverges from the committed "
+                f"baseline ({pr_stp} vs {base_stp}) — episodes are "
+                f"deterministic, so refresh the baseline only if the "
+                f"behaviour change is intended")
+        pr_speedup = float(entry["fast_speedup"])
+        base_speedup = float(reference["fast_speedup"])
+        regression = pr_speedup / base_speedup - 1.0
+        print(f"rollout case {case!r}: fast path at {pr_speedup:.2f}x the "
+              f"oracle's steps/sec (baseline {base_speedup:.2f}x, "
+              f"{regression:+.1%}; budget -{max_regression:.0%})")
+        if pr_speedup < base_speedup * (1.0 - max_regression):
+            failures.append(
+                f"rollout case {case!r}: normalized steps/sec regression "
+                f"{regression:+.1%} exceeds the {max_regression:.0%} budget")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("candidate", help="freshly produced report "
@@ -159,6 +230,23 @@ def main(argv=None) -> int:
                         default="BENCH_throughput.json",
                         help="committed kernel-throughput reference "
                              "(default: BENCH_throughput.json)")
+    parser.add_argument("--rollout", metavar="PATH",
+                        help="freshly produced rollout-throughput report "
+                             "(benchmarks/rollout_throughput.py output)")
+    parser.add_argument("--rollout-baseline", metavar="PATH",
+                        default="BENCH_rollout.json",
+                        help="committed rollout-throughput reference "
+                             "(default: BENCH_rollout.json)")
+    parser.add_argument(
+        "--rollout-max-regression", type=float,
+        default=float(os.environ.get("REPRO_ROLLOUT_MAX_REGRESSION", "0.30")),
+        metavar="FRACTION",
+        help="maximum allowed fast_speedup regression for the rollout "
+             "gate (default: 0.30 — the quick cases time tens-of-"
+             "milliseconds episodes, so the ratio is noisier than the "
+             "long-running kernel tiers; correctness is carried by the "
+             "bit-exact modes_agree and STP pins, the ratio gate only "
+             "has to catch the fast path losing its advantage)")
     parser.add_argument(
         "--max-regression", type=float,
         default=float(os.environ.get("REPRO_BENCH_MAX_REGRESSION", "0.15")),
@@ -168,6 +256,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.max_regression < 0:
         parser.error("--max-regression cannot be negative")
+    if args.rollout_max_regression < 0:
+        parser.error("--rollout-max-regression cannot be negative")
 
     pr = _load(args.candidate)
     base = _load(args.baseline)
@@ -209,6 +299,10 @@ def main(argv=None) -> int:
         check_throughput(_load(args.throughput),
                          _load(args.throughput_baseline),
                          args.max_regression, failures)
+
+    if args.rollout is not None:
+        check_rollout(_load(args.rollout), _load(args.rollout_baseline),
+                      args.rollout_max_regression, failures)
 
     if failures:
         for failure in failures:

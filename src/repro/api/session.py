@@ -280,7 +280,9 @@ class Session:
                 engine: str = "event", kernel: str = "vector",
                 reward: str = "stp_delta",
                 time_step_min: float = 0.5, max_steps: int | None = None,
-                record_rewards: bool = False):
+                record_rewards: bool = False,
+                obs_mode: str = "dataclass",
+                record_utilization: bool = True):
         """Run one scheduling-environment episode; returns an
         :class:`~repro.env.EpisodeResult`.
 
@@ -294,7 +296,10 @@ class Session:
         name, spec JSON path, or a
         :class:`~repro.scenarios.spec.ScenarioSpec`.
         ``record_rewards`` keeps the per-step reward trace on the
-        result.
+        result.  ``obs_mode="features"`` selects the array-backed fast
+        observation path (bit-identical decisions/rewards/STP; see
+        :class:`~repro.env.SchedulingEnv`), and ``record_utilization``
+        forwards to the simulator's utilization telemetry switch.
         """
         from repro.env import Policy, make_policy
         from repro.env import rollout as run_episode
@@ -310,7 +315,8 @@ class Session:
         return run_episode(scenario, policy, seed=seed, engine=engine,
                            kernel=kernel, reward=reward,
                            time_step_min=time_step_min, max_steps=max_steps,
-                           record_rewards=record_rewards)
+                           record_rewards=record_rewards, obs_mode=obs_mode,
+                           record_utilization=record_utilization)
 
     def learned_model(self, checkpoint=None):
         """The policy network behind a ``learned`` checkpoint, cached.

@@ -117,6 +117,11 @@ class Node:
         self._speed_factor = float(value)
         if self._state is not None:
             self._state._node["speed"][self._slot] = self._speed_factor
+            # Speed is not a reservation aggregate, so no dirty refresh
+            # is needed — but version-cached feature snapshots
+            # (NodeFeatures) must observe straggler onset/recovery, so
+            # the mutation still has to move the state version.
+            self._state.version += 1
 
     # ------------------------------------------------------------------
     # Dynamic-cluster state transitions

@@ -41,12 +41,14 @@ Quickstart::
 
 from repro.env.actions import Action, InvalidActionError, Placement
 from repro.env.environment import (
+    OBS_MODES,
     REWARD_KINDS,
     EpisodeNotDoneError,
     SchedulingEnv,
 )
 from repro.env.observations import (
     BusTelemetry,
+    FeatureObservation,
     JobView,
     NodeView,
     Observation,
@@ -72,9 +74,11 @@ __all__ = [
     # environment
     "SchedulingEnv",
     "REWARD_KINDS",
+    "OBS_MODES",
     "EpisodeNotDoneError",
     # observations
     "Observation",
+    "FeatureObservation",
     "JobView",
     "NodeView",
     "BusTelemetry",

@@ -29,10 +29,15 @@ from repro.scenarios.registry import load_scenario
 from repro.scheduling.base import Scheduler
 from repro.spark.driver import DynamicAllocationPolicy
 
-__all__ = ["REWARD_KINDS", "SchedulingEnv", "EpisodeNotDoneError"]
+__all__ = ["REWARD_KINDS", "OBS_MODES", "SchedulingEnv",
+           "EpisodeNotDoneError"]
 
 #: Reward shapes understood by :class:`SchedulingEnv`.
 REWARD_KINDS: tuple[str, ...] = ("stp_delta", "antt_delta")
+
+#: Observation modes: the typed-dataclass parity oracle, or the
+#: array-backed fast path handing out ``FeatureObservation``s.
+OBS_MODES: tuple[str, ...] = ("dataclass", "features")
 
 
 class EpisodeNotDoneError(RuntimeError):
@@ -121,6 +126,21 @@ class SchedulingEnv:
         One of :data:`REWARD_KINDS` (default ``"stp_delta"``).
     time_step_min:
         Simulator grid step, as in :class:`repro.api.ExperimentPlan`.
+    obs_mode:
+        ``"dataclass"`` (default) hands out the frozen
+        :class:`~repro.env.Observation` with per-job/per-node typed
+        views — the parity oracle.  ``"features"`` hands out the
+        array-backed :class:`~repro.env.FeatureObservation`, built
+        straight from the kernel's state columns: the fast path for
+        learned-policy rollouts and training collection (policies that
+        read the typed views need ``"dataclass"``).
+    record_utilization:
+        Attach the per-node utilization trace recorder (default
+        ``True``, the simulator's historical reduction for the headline
+        utilization metric).  ``False`` drops the recorder — the
+        streaming subscriber then supplies the mean — which rollout
+        collection uses because its reward/STP signals never read
+        utilization.
 
     Usage::
 
@@ -135,15 +155,21 @@ class SchedulingEnv:
 
     def __init__(self, scenario, *, engine: str = "event",
                  kernel: str = "vector", reward: str = "stp_delta",
-                 time_step_min: float = 0.5) -> None:
+                 time_step_min: float = 0.5, obs_mode: str = "dataclass",
+                 record_utilization: bool = True) -> None:
         self._spec = load_scenario(scenario)
         if reward not in REWARD_KINDS:
             raise ValueError(f"unknown reward kind {reward!r}; expected one "
                              f"of {REWARD_KINDS}")
+        if obs_mode not in OBS_MODES:
+            raise ValueError(f"unknown obs_mode {obs_mode!r}; expected one "
+                             f"of {OBS_MODES}")
         self.engine = engine
         self.kernel = kernel
         self.reward_kind = reward
         self.time_step_min = time_step_min
+        self.obs_mode = obs_mode
+        self.record_utilization = record_utilization
         self._sim: ClusterSimulator | None = None
         self._epochs = None
         self._done = False
@@ -188,7 +214,8 @@ class SchedulingEnv:
                                time_step_min=self.time_step_min, seed=seed,
                                step_mode=self.engine, kernel=self.kernel,
                                max_time_min=spec.max_time_min,
-                               faults=spec.faults)
+                               faults=spec.faults,
+                               record_utilization=self.record_utilization)
         self.seed = seed
         self._jobs = jobs
         self._allocation_policy = allocation_policy
@@ -335,6 +362,17 @@ class SchedulingEnv:
         return self._done
 
     def _observe(self) -> Observation:
+        if self.obs_mode == "features":
+            # Read the allocation policy off the *installed* scheduler:
+            # ``on_cluster_change`` rebinds it (``with_cluster_size``
+            # returns a fresh frozen instance), so the reference captured
+            # at ``reset()`` goes stale once churn changes the live node
+            # count.
+            scheduler = self._sim.scheduler
+            allocation_policy = getattr(scheduler, "allocation_policy",
+                                        self._allocation_policy)
+            return self._observer.build_features(
+                self._context, self._now, self._epoch, allocation_policy)
         return self._observer.build(self._context, self._now, self._epoch)
 
     def result(self) -> SimulationResult:

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.cluster.events import EventKind
 
 __all__ = ["JobView", "NodeView", "BusTelemetry", "Observation",
-           "ObservationBuilder"]
+           "FeatureObservation", "ObservationBuilder"]
 
 
 @dataclass(frozen=True)
@@ -174,6 +174,29 @@ class Observation:
         }
 
 
+@dataclass(frozen=True)
+class FeatureObservation:
+    """Array-backed fast-path observation (``obs_mode="features"``).
+
+    Holds the learned featurizer's
+    :class:`~repro.env.train.features.EpochSnapshot` built straight from
+    the kernel's state columns — no :class:`JobView`/:class:`NodeView`
+    dataclass materialisation, no monitor queries.  The dataclass
+    :class:`Observation` stays the parity oracle: for the same paused
+    simulation, ``snapshot`` is bit-identical to
+    ``snapshot_from_observation(oracle_observation)`` (pinned by the
+    fast-path property tests).  Policies that need the full typed view
+    (telemetry counters, per-job states) should run
+    ``obs_mode="dataclass"``.
+    """
+
+    time_min: float
+    epoch: int
+    #: The :class:`~repro.env.train.features.EpochSnapshot` of this
+    #: wake-point (typed loosely to keep the env layer import-light).
+    snapshot: object
+
+
 class ObservationBuilder:
     """Builds observations at wake-points; streams telemetry off the bus.
 
@@ -277,4 +300,26 @@ class ObservationBuilder:
             pending_arrivals=sim.pending_count(),
             oom_rerun_gb=float(sum(sim.oom_retry_gb.values())),
             telemetry=self.telemetry(),
+        )
+
+    def build_features(self, context, now: float, epoch: int,
+                       allocation_policy) -> FeatureObservation:
+        """Snapshot the paused simulation array-to-array (fast path).
+
+        Fills the learned featurizer's ``EpochSnapshot`` straight from
+        the kernel's :class:`~repro.cluster.state.ClusterState` columns
+        (via the version-cached ``NodeFeatures`` epoch snapshot on the
+        vector kernel), skipping the per-job/per-node dataclass tuples
+        and the per-node monitor queries :meth:`build` pays.  The
+        resulting arrays are bit-identical to running
+        ``snapshot_from_observation`` on :meth:`build`'s output.
+        """
+        # Lazy import: repro.env.train packages import the environment,
+        # which imports this module — a top-level import would cycle.
+        from repro.env.train.features import snapshot_from_state
+
+        return FeatureObservation(
+            time_min=now,
+            epoch=epoch,
+            snapshot=snapshot_from_state(context, allocation_policy),
         )

@@ -142,7 +142,9 @@ def rollout(scenario, policy: Policy, *, seed: int = 11,
             engine: str = "event", kernel: str = "vector",
             reward: str = "stp_delta", time_step_min: float = 0.5,
             max_steps: int | None = None,
-            record_rewards: bool = False) -> EpisodeResult:
+            record_rewards: bool = False,
+            obs_mode: str = "dataclass",
+            record_utilization: bool = True) -> EpisodeResult:
     """Run one full episode of ``policy`` on ``scenario``.
 
     ``max_steps`` bounds the number of decision epochs (a safety net for
@@ -151,10 +153,17 @@ def rollout(scenario, policy: Policy, *, seed: int = 11,
     ``RuntimeError`` naming the scenario and step count.
     ``record_rewards`` keeps the per-step reward trace on the result
     (``EpisodeResult.rewards``) — the learner's training signal and the
-    eval episode then share one telemetry shape.
+    eval episode then share one telemetry shape.  ``obs_mode`` and
+    ``record_utilization`` are forwarded to :class:`SchedulingEnv`:
+    ``obs_mode="features"`` with ``record_utilization=False`` is the
+    fast collection path (decision traces, rewards and STP are
+    bit-identical to the defaults; only the episode's utilization metric
+    switches to the streaming reduction).
     """
     env = SchedulingEnv(scenario, engine=engine, kernel=kernel,
-                        reward=reward, time_step_min=time_step_min)
+                        reward=reward, time_step_min=time_step_min,
+                        obs_mode=obs_mode,
+                        record_utilization=record_utilization)
     policy.reset(seed)
     observation = env.reset(seed=seed,
                             scheduler_factory=policy.make_scheduler)

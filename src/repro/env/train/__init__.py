@@ -27,13 +27,16 @@ Quickstart::
 from repro.env.train.features import (
     FEATURE_NAMES,
     N_FEATURES,
+    CandidateRowCache,
     EpochSnapshot,
     FeatureConfig,
     candidate_features,
     snapshot_from_context,
     snapshot_from_observation,
+    snapshot_from_state,
 )
 from repro.env.train.learner import (
+    UPDATE_MODES,
     Adam,
     IterationStats,
     ReinforceLearner,
@@ -62,13 +65,14 @@ from repro.env.train.workers import (
 __all__ = [
     # featurizer
     "FeatureConfig", "FEATURE_NAMES", "N_FEATURES", "EpochSnapshot",
-    "candidate_features", "snapshot_from_observation",
-    "snapshot_from_context",
+    "candidate_features", "CandidateRowCache",
+    "snapshot_from_observation", "snapshot_from_context",
+    "snapshot_from_state",
     # model
     "PolicyNetwork", "CHECKPOINT_FORMAT",
     # learner
     "ReinforceLearner", "TrainConfig", "TrainResult", "IterationStats",
-    "Adam",
+    "Adam", "UPDATE_MODES",
     # workers
     "EpisodeCollector", "EpisodeSpec", "Trajectory", "collect_episode",
     # serving

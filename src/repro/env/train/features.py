@@ -39,7 +39,8 @@ import numpy as np
 
 __all__ = ["FeatureConfig", "FEATURE_NAMES", "N_FEATURES", "JobCand",
            "EpochSnapshot", "snapshot_from_observation",
-           "snapshot_from_context", "candidate_features"]
+           "snapshot_from_context", "snapshot_from_state",
+           "candidate_features", "CandidateRowCache"]
 
 #: Column names of the candidate feature matrix, in order.  The first
 #: block describes the job and cluster (shared by every candidate of one
@@ -211,6 +212,151 @@ def snapshot_from_context(ctx, allocation_policy) -> EpochSnapshot:
                        dtype=np.int64),
         speed=np.array([n.speed_factor for n in up], dtype=np.float64),
     )
+
+
+def snapshot_from_state(ctx, allocation_policy) -> EpochSnapshot:
+    """Build the snapshot straight from the kernel's state columns.
+
+    The fast-path constructor behind ``obs_mode="features"``: on the
+    vector kernel the node arrays are gathered from the cached
+    :class:`~repro.cluster.simulator.NodeFeatures` epoch snapshot (one
+    boolean-mask gather per column) instead of one Python attribute
+    read per node.  Every gathered column is written by
+    ``ClusterState.refresh_dirty`` from the same cached scalars the
+    :class:`~repro.cluster.node.Node` properties return, and the two
+    derived columns use the same elementwise float64 expressions
+    (``max(ram - reserved, 0)``, ``1 - reserved_cpu``), so the arrays
+    are bit-identical to :func:`snapshot_from_context`'s — the property
+    tests pin it.  On the object kernel (no column mirror) this falls
+    back to the per-object walk.
+    """
+    features = ctx.node_features()
+    if features is None:
+        return snapshot_from_context(ctx, allocation_policy)
+    jobs = []
+    for app in ctx.waiting_apps():
+        spec = ctx.spec_of(app)
+        jobs.append(JobCand(name=app.name, input_gb=app.input_gb,
+                            unassigned_gb=app.unassigned_gb,
+                            cpu_load=spec.cpu_load,
+                            active=len(app.active_executors),
+                            desired=allocation_policy.desired_executors(
+                                app.input_gb)))
+    up = features.up
+    # Boolean-mask gathers copy, so the decision loop's in-place
+    # bookings never touch the version-cached NodeFeatures columns.
+    return EpochSnapshot(
+        jobs=jobs,
+        node_ids=features.node_ids[up],
+        ram_gb=features.ram_gb[up],
+        free_gb=features.free_gb[up],
+        cpu_free=1.0 - features.reserved_cpu[up],
+        execs=features.n_active[up].astype(np.int64),
+        speed=features.speed[up],
+    )
+
+
+class CandidateRowCache:
+    """Per-epoch cache of placement-block feature rows, bit-for-bit.
+
+    :func:`candidate_features` rebuilds the full candidate matrix for
+    every sub-decision of the fixed-point loop, although a booking only
+    changes *one* node's placement columns.  This cache keeps one
+    pre-computed ``N_FEATURES``-wide row per (node, fraction) pair and
+    reassembles each sub-decision's matrix by gathering those rows,
+    overwriting only the decision-wide block and the two global columns.
+
+    **Row-oracle rule** (the PR 7 ``footprint_batch`` discipline): every
+    cached cell is produced by the *same elementwise* float64 expression
+    :func:`candidate_features` uses — elementwise IEEE ops round
+    identically whether computed for one node or a whole column, unlike
+    reductions, whose summation order may differ.  The two cells that
+    involve reductions (``cluster_free``'s ``free_gb.sum()`` and
+    ``node_free_rank``'s ``free_gb.max()``) are therefore *not* cached:
+    they are recomputed per call with the exact original reductions.
+    The assembled matrix is bit-identical to the uncached one, and
+    :func:`candidate_features` stays in-tree as the oracle the parity
+    tests compare against.
+    """
+
+    #: Feature columns owned by the cache: the placement block minus the
+    #: global ``node_free_rank`` (col 11), which is recomputed per call.
+    _CACHED_COLS = (8, 9, 10, 12, 13, 14, 15, 16, 17, 18, 19)
+
+    def __init__(self, snapshot: EpochSnapshot,
+                 config: FeatureConfig) -> None:
+        self.snapshot = snapshot
+        self.config = config
+        self.fractions = np.asarray(config.fractions, dtype=np.float64)
+        n_nodes = snapshot.free_gb.shape[0]
+        n_fracs = self.fractions.shape[0]
+        self._rows = np.zeros((n_nodes, n_fracs, N_FEATURES),
+                              dtype=np.float64)
+        self._budgets = np.empty((n_nodes, n_fracs), dtype=np.float64)
+        if n_nodes:
+            self._refresh(np.arange(n_nodes))
+
+    def _refresh(self, slots: np.ndarray) -> None:
+        """Recompute the cached rows of ``slots`` from the snapshot."""
+        snap = self.snapshot
+        fractions = self.fractions
+        ram = snap.ram_gb[slots]
+        free = snap.free_gb[slots]
+        budgets = free[:, None] * fractions[None, :]
+        self._budgets[slots] = budgets
+        rows = self._rows
+        rows[slots, :, 8] = (ram / 100.0)[:, None]
+        rows[slots, :, 9] = (free / 100.0)[:, None]
+        rows[slots, :, 10] = (free / np.maximum(ram, 1e-9))[:, None]
+        rows[slots, :, 12] = snap.cpu_free[slots, None]
+        rows[slots, :, 13] = (snap.execs[slots] / 4.0)[:, None]
+        rows[slots, :, 14] = (snap.execs[slots] == 0)[:, None]
+        rows[slots, :, 15] = (snap.execs[slots] == 1)[:, None]
+        rows[slots, :, 16] = snap.speed[slots, None]
+        rows[slots, :, 17] = fractions[None, :]
+        rows[slots, :, 18] = budgets / 100.0
+        rows[slots, :, 19] = budgets / np.maximum(ram, 1e-9)[:, None]
+
+    def invalidate(self, slot: int) -> None:
+        """Mark one node's rows stale after a booking touched it."""
+        self._refresh(np.array([slot]))
+
+    def candidate_features(self, job: JobCand,
+                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Assemble one sub-decision's matrix from the cached rows.
+
+        Same contract (and same bits) as module-level
+        :func:`candidate_features` on the cache's snapshot.
+        """
+        snap, config = self.snapshot, self.config
+        node_ok = ((snap.free_gb >= config.min_budget_gb)
+                   & (job.cpu_load <= snap.cpu_free + 1e-9))
+        ok = node_ok[:, None] & (self._budgets >= config.min_budget_gb)
+        slots, fracs = np.nonzero(ok)
+        n_cands = slots.shape[0]
+        features = np.zeros((1 + n_cands, N_FEATURES), dtype=np.float64)
+        if n_cands:
+            features[1:] = self._rows[slots, fracs]
+            free = snap.free_gb[slots]
+            max_free = float(snap.free_gb.max())
+            features[1:, 11] = free / max(max_free, 1e-9)
+        desired = max(job.desired, 1)
+        total_free = float(snap.free_gb.sum())
+        features[:, 1] = job.input_gb / 100.0
+        features[:, 2] = job.unassigned_gb / max(job.input_gb, 1e-9)
+        features[:, 3] = job.cpu_load
+        features[:, 4] = job.active / desired
+        features[:, 5] = (job.desired - job.active) / desired
+        features[:, 6] = len(snap.jobs) / 10.0
+        features[:, 7] = total_free / max(snap.total_ram, 1e-9)
+        features[0, 0] = 1.0
+        cand_slots = np.empty(1 + n_cands, dtype=np.int64)
+        cand_slots[0] = -1
+        cand_slots[1:] = slots
+        cand_fractions = np.empty(1 + n_cands, dtype=np.float64)
+        cand_fractions[0] = 0.0
+        cand_fractions[1:] = self.fractions[fracs]
+        return features, cand_slots, cand_fractions
 
 
 def candidate_features(snapshot: EpochSnapshot, job: JobCand,

@@ -26,7 +26,8 @@ telemetry (:class:`IterationStats` per iteration).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -39,7 +40,12 @@ from .scheme import LearnedPolicy
 from .workers import EpisodeCollector, EpisodeSpec, Trajectory
 
 __all__ = ["TrainConfig", "IterationStats", "TrainResult", "Adam",
-           "ReinforceLearner"]
+           "ReinforceLearner", "UPDATE_MODES"]
+
+#: Gradient-accumulation implementations: ``"gemm"`` stacks decisions
+#: into chunked matrix products (the fast default), ``"rows"`` is the
+#: row-at-a-time bit-stability oracle.
+UPDATE_MODES = ("gemm", "rows")
 
 
 @dataclass(frozen=True)
@@ -55,6 +61,17 @@ class TrainConfig:
     in a sharpening phase that pushes probability mass onto the
     distribution's mode, shrinking the gap between the sampled training
     policy and the argmax serving policy.
+
+    ``obs_mode`` selects the environment observation path for episode
+    collection and evaluation (``"features"``, the array-backed fast
+    path, is bit-identical to the ``"dataclass"`` oracle — pinned by the
+    fast-path parity tests).  ``update_mode`` selects the gradient
+    accumulation implementation (:data:`UPDATE_MODES`): ``"gemm"`` stacks
+    the batch into chunked matrix products, ``"rows"`` is the
+    row-at-a-time oracle; the two agree to numerical precision but not
+    bitwise (BLAS matmuls are not bit-stable across batching), so runs
+    that must reproduce a historical checkpoint bit-for-bit use
+    ``"rows"``.
     """
 
     iters: int = 150
@@ -74,6 +91,8 @@ class TrainConfig:
     eval_every: int = 5
     max_steps: int = 20000
     workers: int = 1
+    obs_mode: str = "features"
+    update_mode: str = "gemm"
 
     def __post_init__(self) -> None:
         if self.iters < 1:
@@ -82,6 +101,12 @@ class TrainConfig:
             raise ValueError("episodes_per_iter must be at least 1")
         if self.eval_every < 1:
             raise ValueError("eval_every must be at least 1")
+        if self.obs_mode not in ("dataclass", "features"):
+            raise ValueError(f"unknown obs_mode {self.obs_mode!r} "
+                             "(expected 'dataclass' or 'features')")
+        if self.update_mode not in UPDATE_MODES:
+            raise ValueError(f"unknown update_mode {self.update_mode!r} "
+                             f"(expected one of {UPDATE_MODES})")
         object.__setattr__(self, "hidden", tuple(self.hidden))
         if self.episode_seeds is not None:
             object.__setattr__(self, "episode_seeds",
@@ -120,15 +145,25 @@ class TrainConfig:
             "eval_every": self.eval_every,
             "max_steps": self.max_steps,
             "workers": self.workers,
+            "obs_mode": self.obs_mode,
+            "update_mode": self.update_mode,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TrainConfig":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Payloads written before the fast-path knobs existed resolve to
+        ``update_mode="rows"`` — the semantics their runs actually had —
+        so re-deriving a historical checkpoint from its recorded config
+        reproduces the same bytes.  (``obs_mode`` needs no such pin:
+        both observation paths are bit-identical.)
+        """
         kwargs = dict(payload)
         kwargs["hidden"] = tuple(kwargs["hidden"])
         if kwargs.get("episode_seeds") is not None:
             kwargs["episode_seeds"] = tuple(kwargs["episode_seeds"])
+        kwargs.setdefault("update_mode", "rows")
         return cls(**kwargs)
 
 
@@ -138,7 +173,11 @@ class IterationStats:
 
     ``eval_stp`` is the deterministic greedy-policy STP on the eval
     seed, present on evaluation iterations (every ``eval_every``-th and
-    the last), ``None`` otherwise.
+    the last), ``None`` otherwise.  ``collect_s``/``update_s``/``eval_s``
+    split the iteration's wall-clock across episode collection, the
+    gradient update, and the eval episode (``0.0`` on non-eval
+    iterations) — the observability needed to see where a training run
+    actually spends its time.
     """
 
     iteration: int
@@ -150,6 +189,11 @@ class IterationStats:
     lr: float
     entropy_beta: float
     eval_stp: float | None = None
+    # Wall-clock telemetry: excluded from equality so the determinism
+    # contract (same config -> same curve) stays about the math.
+    collect_s: float = field(default=0.0, compare=False)
+    update_s: float = field(default=0.0, compare=False)
+    eval_s: float = field(default=0.0, compare=False)
 
     def to_dict(self) -> dict:
         """JSON-ready dict form."""
@@ -163,6 +207,9 @@ class IterationStats:
             "lr": self.lr,
             "entropy_beta": self.entropy_beta,
             "eval_stp": self.eval_stp,
+            "collect_s": self.collect_s,
+            "update_s": self.update_s,
+            "eval_s": self.eval_s,
         }
 
     @classmethod
@@ -322,20 +369,12 @@ class ReinforceLearner:
             episode_advantages = episode_advantages / scale
 
         grads = self.model.zero_grads()
-        entropies = []
-        n_decisions = 0
-        for advantage, trajectory in zip(episode_advantages, trajectories):
-            for features, choice in trajectory.decisions:
-                logits, acts = self.model.forward_cached(features)
-                logp = log_softmax(logits)
-                probs = np.exp(logp)
-                entropy = float(-(probs * logp).sum())
-                entropies.append(entropy)
-                dlogits = advantage * probs
-                dlogits[choice] -= advantage
-                dlogits += beta * probs * (logp + entropy)
-                self.model.backward(acts, dlogits, grads)
-                n_decisions += 1
+        if self.config.update_mode == "gemm":
+            mean_entropy, n_decisions = self._accumulate_gemm(
+                trajectories, episode_advantages, beta, grads)
+        else:
+            mean_entropy, n_decisions = self._accumulate_rows(
+                trajectories, episode_advantages, beta, grads)
         if not n_decisions:
             return 0.0, 0.0
         n_decisions = float(n_decisions)
@@ -351,7 +390,124 @@ class ReinforceLearner:
                 dw *= shrink
                 db *= shrink
         self._adam.step(self.model, grads, lr)
-        return float(np.mean(entropies)), grad_norm
+        return mean_entropy, grad_norm
+
+    def _accumulate_rows(self, trajectories: list[Trajectory],
+                         episode_advantages: np.ndarray, beta: float,
+                         grads) -> tuple[float, int]:
+        """Row-at-a-time gradient accumulation (the bit-stability oracle)."""
+        entropies = []
+        n_decisions = 0
+        for advantage, trajectory in zip(episode_advantages, trajectories):
+            for features, choice in trajectory.decisions:
+                logits, acts = self.model.forward_cached(features)
+                logp = log_softmax(logits)
+                probs = np.exp(logp)
+                entropy = float(-(probs * logp).sum())
+                entropies.append(entropy)
+                dlogits = advantage * probs
+                dlogits[choice] -= advantage
+                dlogits += beta * probs * (logp + entropy)
+                self.model.backward(acts, dlogits, grads)
+                n_decisions += 1
+        if not n_decisions:
+            return 0.0, 0
+        return float(np.mean(entropies)), n_decisions
+
+    #: Row budget of one gemm chunk: large enough to amortize BLAS call
+    #: overhead over dozens of decisions, small enough that the chunk's
+    #: activations stay cache-resident instead of streaming through DRAM.
+    GEMM_CHUNK_ROWS = 2048
+
+    def _accumulate_gemm(self, trajectories: list[Trajectory],
+                         episode_advantages: np.ndarray, beta: float,
+                         grads) -> tuple[float, int]:
+        """Batched-matrix gradient accumulation (the fast path).
+
+        Packs runs of decisions into cache-sized chunks: one stacked
+        forward per chunk, segment-wise log-softmax/entropy over the
+        flat logit vector (``np.{maximum,add}.reduceat`` over decision
+        offsets — no padding grid), and one batched backward — the same
+        arithmetic as :meth:`_accumulate_rows` minus the per-decision
+        Python loop.  Numerically equal to the rows oracle within float
+        tolerance, not bitwise (BLAS matmuls reassociate across
+        batching), which is why rows stays the reproducibility oracle.
+        """
+        decisions: list[np.ndarray] = []
+        choices: list[int] = []
+        advantages: list[float] = []
+        for advantage, trajectory in zip(episode_advantages, trajectories):
+            for features, choice in trajectory.decisions:
+                decisions.append(features)
+                choices.append(choice)
+                advantages.append(float(advantage))
+        if not decisions:
+            return 0.0, 0
+
+        model = self.model
+        weights, biases = model.weights, model.biases
+        entropy_sum = 0.0
+        start = 0
+        while start < len(decisions):
+            stop = start
+            rows = 0
+            while stop < len(decisions) and (
+                    rows == 0
+                    or rows + decisions[stop].shape[0] <= self.GEMM_CHUNK_ROWS):
+                rows += decisions[stop].shape[0]
+                stop += 1
+            chunk = decisions[start:stop]
+            lengths = np.array([f.shape[0] for f in chunk], dtype=np.int64)
+            offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+            adv = np.asarray(advantages[start:stop], dtype=np.float64)
+            choice_pos = offsets + np.asarray(choices[start:stop],
+                                              dtype=np.int64)
+            stacked = np.concatenate(chunk, axis=0)
+
+            acts = [stacked]
+            h = stacked
+            for w, b in zip(weights[:-1], biases[:-1]):
+                z = h @ w
+                z += b
+                np.tanh(z, out=z)
+                h = z
+                acts.append(h)
+            logits = h @ weights[-1][:, 0]
+            logits += biases[-1][0]
+
+            # Segment-wise stable log-softmax over the flat logit vector.
+            rep = np.repeat(np.arange(len(chunk)), lengths)
+            shifted = logits
+            shifted -= np.maximum.reduceat(logits, offsets)[rep]
+            probs = np.exp(shifted)
+            seg_sum = np.add.reduceat(probs, offsets)
+            probs /= seg_sum[rep]
+            logp = shifted
+            logp -= np.log(seg_sum)[rep]
+            entropy = -np.add.reduceat(probs * logp, offsets)
+            entropy_sum += float(entropy.sum())
+
+            dlogits = adv[rep] * probs
+            dlogits[choice_pos] -= adv
+            entropy_term = logp
+            entropy_term += entropy[rep]
+            entropy_term *= probs
+            entropy_term *= beta
+            dlogits += entropy_term
+
+            delta = dlogits[:, None]
+            for layer in range(len(weights) - 1, -1, -1):
+                a = acts[layer]
+                dw, db = grads[layer]
+                dw += a.T @ delta
+                db += delta.sum(axis=0)
+                if layer > 0:
+                    next_delta = delta @ weights[layer].T
+                    next_delta *= 1.0 - a * a
+                    delta = next_delta
+            start = stop
+        n_decisions = len(decisions)
+        return entropy_sum / n_decisions, n_decisions
 
     # ------------------------------------------------------------------
     # evaluation
@@ -368,7 +524,9 @@ class ReinforceLearner:
                          engine=self.config.engine,
                          kernel=self.config.kernel,
                          reward=self.config.reward,
-                         max_steps=self.config.max_steps)
+                         max_steps=self.config.max_steps,
+                         obs_mode=self.config.obs_mode,
+                         record_utilization=False)
         return result.stp
 
     # ------------------------------------------------------------------
@@ -395,22 +553,30 @@ class ReinforceLearner:
         with EpisodeCollector(self.spec, reward=config.reward,
                               engine=config.engine, kernel=config.kernel,
                               max_steps=config.max_steps,
-                              workers=config.workers) as collector:
+                              workers=config.workers,
+                              obs_mode=config.obs_mode) as collector:
             for iteration in range(config.iters):
                 specs = [EpisodeSpec(
                     episode_seed=episode_seeds[e % len(episode_seeds)],
                     sample_seed=(config.seed, iteration, e))
                     for e in range(config.episodes_per_iter)]
+                tick = time.perf_counter()
                 trajectories = collector.collect(self.model, specs)
+                collect_s = time.perf_counter() - tick
                 lr = self._anneal(config.lr, config.lr_min, iteration)
                 beta = self._anneal(config.entropy_beta,
                                     config.entropy_beta_min, iteration)
+                tick = time.perf_counter()
                 entropy, grad_norm = self._update(trajectories, lr, beta)
+                update_s = time.perf_counter() - tick
                 totals = [t.total_reward for t in trajectories]
                 eval_stp = None
+                eval_s = 0.0
                 if (iteration % config.eval_every == 0
                         or iteration == config.iters - 1):
+                    tick = time.perf_counter()
                     eval_stp = self.evaluate()
+                    eval_s = time.perf_counter() - tick
                     final_eval = eval_stp
                     if eval_stp > best_stp:
                         best_stp = eval_stp
@@ -427,6 +593,9 @@ class ReinforceLearner:
                     lr=lr,
                     entropy_beta=beta,
                     eval_stp=eval_stp,
+                    collect_s=round(collect_s, 4),
+                    update_s=round(update_s, 4),
+                    eval_s=round(eval_s, 4),
                 )
                 curve.append(stats)
                 if progress is not None:

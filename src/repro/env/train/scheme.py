@@ -14,10 +14,12 @@ environment; here a policy born in the environment is mounted inside the
 * :class:`LearnedScheduler` — a native
   :class:`~repro.scheduling.base.Scheduler` whose ``schedule()`` builds
   the snapshot from the live context and applies ``decide_epoch``'s
-  placements.  It never touches ``ctx.node_features()`` — the same code
-  path runs on both kernels, so vector/object trajectories are
-  bit-identical; and its features are reservation-side and time-free, so
-  fixed/event engine trajectories are too.
+  placements.  The snapshot build is array-backed on the vector kernel
+  (``snapshot_from_state`` gathers the ``NodeFeatures`` columns) and a
+  scalar walk on the object kernel; both read the same reservation-side
+  numbers, so vector/object trajectories are bit-identical — and its
+  features are reservation-side and time-free, so fixed/event engine
+  trajectories are too.
 * :class:`LearnedPolicy` — the environment-side twin, used for training
   rollouts (sampling) and ``env-rollout --policy learned[:ckpt]``.  Its
   ``act`` builds the snapshot from the typed Observation; because both
@@ -45,10 +47,12 @@ from repro.env.policies import Policy
 from repro.scheduling.base import Scheduler
 
 from .features import (
+    CandidateRowCache,
     EpochSnapshot,
     candidate_features,
     snapshot_from_context,
     snapshot_from_observation,
+    snapshot_from_state,
 )
 from .model import PolicyNetwork
 
@@ -106,7 +110,7 @@ def clear_model_cache() -> None:
 
 def decide_epoch(snapshot: EpochSnapshot, model: PolicyNetwork,
                  allocation_policy, *, rng: np.random.Generator | None = None,
-                 trace: list | None = None,
+                 trace: list | None = None, row_cache: bool = True,
                  ) -> list[tuple[str, int, float, float]]:
     """Run the policy over one epoch snapshot; return its placements.
 
@@ -142,15 +146,27 @@ def decide_epoch(snapshot: EpochSnapshot, model: PolicyNetwork,
     and runs in both serving paths, so env/native and engine/kernel
     parity are unaffected, and it is never recorded in the trace (it is
     not a sample from the policy distribution).
+
+    ``row_cache=True`` (default) reuses candidate feature rows across
+    the fixed-point passes through a
+    :class:`~repro.env.train.features.CandidateRowCache`, refreshing
+    only the node a booking touched; ``row_cache=False`` rebuilds every
+    matrix through :func:`~repro.env.train.features.candidate_features`
+    — the row-oracle path the parity tests pin the cache against.  Both
+    produce bit-identical matrices, choices and rng draw sequences.
     """
     placements: list[tuple[str, int, float, float]] = []
     config = model.feature_config
+    cache = CandidateRowCache(snapshot, config) if row_cache else None
     while True:
         placed_in_pass = False
         for job in snapshot.jobs:
             while job.active < job.desired and job.unassigned_gb > 1e-6:
-                features, slots, fracs = candidate_features(snapshot, job,
-                                                            config)
+                if cache is not None:
+                    features, slots, fracs = cache.candidate_features(job)
+                else:
+                    features, slots, fracs = candidate_features(snapshot, job,
+                                                                config)
                 if features.shape[0] == 1:
                     break  # no admissible placement; skip is forced
                 if rng is None:
@@ -168,6 +184,8 @@ def decide_epoch(snapshot: EpochSnapshot, model: PolicyNetwork,
                 placements.append((job.name, int(snapshot.node_ids[slot]),
                                    budget, data))
                 snapshot.book(slot, budget, job.cpu_load)
+                if cache is not None:
+                    cache.invalidate(slot)
                 job.unassigned_gb -= data
                 job.active += 1
                 placed_in_pass = True
@@ -177,6 +195,11 @@ def decide_epoch(snapshot: EpochSnapshot, model: PolicyNetwork,
             if fallback is None:
                 break
             placements.append(fallback)
+            if cache is not None:
+                # The fallback booked a node without reporting its slot;
+                # fallbacks are rare (untrained/degenerate policies), so
+                # a full cache rebuild is the simple bit-safe refresh.
+                cache = CandidateRowCache(snapshot, config)
             # A fallback changes the state; run another pass so the
             # decision stays a fixed point of the final state.
     return placements
@@ -223,7 +246,10 @@ class LearnedScheduler(Scheduler):
         apps = {app.name: app for app in ctx.waiting_apps()}
         if not apps:
             return
-        snapshot = snapshot_from_context(ctx, self.allocation_policy)
+        # Array-backed on the vector kernel, scalar walk on the object
+        # kernel — bit-identical either way (the kernel-parity grids in
+        # the test suite pin it).
+        snapshot = snapshot_from_state(ctx, self.allocation_policy)
         if snapshot.free_gb.shape[0] == 0:
             return
         for name, node_id, memory_gb, data_gb in decide_epoch(
@@ -249,11 +275,16 @@ class LearnedPolicy(Policy):
     def __init__(self, checkpoint: str | Path | None = None, *,
                  model: PolicyNetwork | None = None,
                  sample_rng: np.random.Generator | None = None,
-                 record_trace: bool = False) -> None:
+                 record_trace: bool = False,
+                 row_cache: bool = True) -> None:
         self.model = model if model is not None else load_policy_model(
             checkpoint)
         self.sample_rng = sample_rng
         self.record_trace = record_trace
+        #: Reuse candidate rows across the fixed-point passes (see
+        #: :func:`decide_epoch`); ``False`` is the row-oracle mode the
+        #: rollout benchmark measures the cache against.
+        self.row_cache = row_cache
         #: Per-episode (features, choice) pairs when ``record_trace``;
         #: grouped per step by :attr:`step_marks` (decision count after
         #: each ``act``).
@@ -278,10 +309,17 @@ class LearnedPolicy(Policy):
                 "drive it through repro.env.rollout()/Session.rollout() so "
                 "make_scheduler() is called at reset")
         allocation_policy = self._scheduler.allocation_policy
-        snapshot = snapshot_from_observation(observation, allocation_policy)
+        snapshot = getattr(observation, "snapshot", None)
+        if snapshot is None:
+            # Dataclass observation: derive the snapshot from the typed
+            # views.  The fast path (obs_mode="features") already built
+            # it array-to-array inside the environment.
+            snapshot = snapshot_from_observation(observation,
+                                                 allocation_policy)
         trace = self.trace if self.record_trace else None
         placements = decide_epoch(snapshot, self.model, allocation_policy,
-                                  rng=self.sample_rng, trace=trace)
+                                  rng=self.sample_rng, trace=trace,
+                                  row_cache=self.row_cache)
         if self.record_trace:
             self.step_marks.append(len(self.trace))
         return Action(tuple(

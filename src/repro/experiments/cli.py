@@ -248,7 +248,8 @@ def _run_env_rollout(args) -> int:
         try:
             episode = session.rollout(spec, policy=args.policy,
                                       seed=args.seed, engine=args.engine,
-                                      kernel=args.kernel, reward=args.reward)
+                                      kernel=args.kernel, reward=args.reward,
+                                      obs_mode=args.obs_mode or "dataclass")
         except UnknownPolicy as error:
             print(f"cannot resolve policy {args.policy!r}: {error}",
                   file=sys.stderr)
@@ -292,7 +293,9 @@ def _run_env_train(args) -> int:
                              seed=args.seed, eval_seed=args.eval_seed,
                              reward=args.reward,
                              engine=args.engine, kernel=args.kernel,
-                             workers=args.workers)
+                             workers=args.workers,
+                             obs_mode=args.obs_mode or "features",
+                             update_mode=args.update_mode)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -306,6 +309,10 @@ def _run_env_train(args) -> int:
                 f"|grad|={stats.grad_norm:.4f}")
         if stats.eval_stp is not None:
             line += f" eval_STP={stats.eval_stp:.3f}"
+        line += (f" [collect {stats.collect_s:.1f}s"
+                 f" update {stats.update_s:.1f}s")
+        line += (f" eval {stats.eval_s:.1f}s]" if stats.eval_stp is not None
+                 else "]")
         print(line, flush=True)
 
     result = learner.train(checkpoint=args.checkpoint, progress=progress)
@@ -400,6 +407,20 @@ def main(argv: list[str] | None = None) -> int:
                              "episode — 'random', 'greedy', any registered "
                              "scheme name, or 'learned:PATH.npz' to serve a "
                              "specific trained checkpoint (default: random)")
+    parser.add_argument("--obs-mode", choices=["dataclass", "features"],
+                        default=None, metavar="MODE",
+                        help="env-rollout/env-train mode: observation path — "
+                             "'features' is the array-backed fast path "
+                             "(bit-identical decisions, rewards and STP; "
+                             "env-train collects with it by default), "
+                             "'dataclass' the typed oracle (env-rollout "
+                             "default)")
+    parser.add_argument("--update-mode", choices=["gemm", "rows"],
+                        default="gemm", metavar="MODE",
+                        help="env-train mode: gradient accumulation — 'gemm' "
+                             "packs the batch into matrix products (default), "
+                             "'rows' is the row-at-a-time bit-stability "
+                             "oracle")
     parser.add_argument("--iters", type=int, default=60, metavar="N",
                         help="env-train mode: training iterations "
                              "(default: 60)")
