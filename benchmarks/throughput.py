@@ -19,7 +19,7 @@ reports events/sec, jobs/sec and the vector/object speedup per tier:
 Both kernels must agree bit-for-bit — the report records the event
 count and makespan of each and a ``kernels_agree`` flag per tier; a
 fast kernel that diverges is a failure, not a win.  ``--profile`` adds
-each run's per-phase wall-clock breakdown (arrivals / faults /
+each run's per-phase wall-clock breakdown (arrivals / faults / oom /
 schedule / advance, read off the engine's always-on phase counters) so
 a regression can be attributed to the phase that caused it.  The
 committed ``BENCH_throughput.json`` additionally carries a
@@ -166,7 +166,8 @@ def main(argv=None) -> int:
                              "queue is what the vector kernel removed)")
     parser.add_argument("--profile", action="store_true",
                         help="record each run's per-phase wall-clock "
-                             "breakdown (arrivals/faults/schedule/advance)")
+                             "breakdown (arrivals/faults/oom/schedule/"
+                             "advance)")
     parser.add_argument("--output", default="BENCH_throughput.json",
                         metavar="PATH", help="report destination "
                                              "(default: BENCH_throughput.json)")

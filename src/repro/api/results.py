@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.cluster.events import SchemeSwitch
 from repro.cluster.faults import FaultSummary
 from repro.cluster.simulator import SimulationResult
 from repro.metrics.throughput import matched_apps
@@ -137,6 +138,9 @@ class CellResult:
     #: Fault/recovery telemetry of the cell's schedule; ``None`` when the
     #: scenario declared no dynamic-cluster behaviour (the seed shape).
     faults: FaultSummary | None = None
+    #: Scheme hot-swaps an adaptive policy performed during the schedule;
+    #: empty for every fixed scheme (the seed shape).
+    switches: tuple[SchemeSwitch, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-ready dict form (the ``faults`` key appears only when set)."""
@@ -155,6 +159,8 @@ class CellResult:
         }
         if self.faults is not None:
             payload["faults"] = self.faults.to_dict()
+        if self.switches:
+            payload["switches"] = [s.to_dict() for s in self.switches]
         return payload
 
     @classmethod
@@ -165,6 +171,8 @@ class CellResult:
                                for record in kwargs["jobs"])
         if kwargs.get("faults") is not None:
             kwargs["faults"] = FaultSummary.from_dict(kwargs["faults"])
+        kwargs["switches"] = tuple(SchemeSwitch.from_dict(s)
+                                   for s in kwargs.get("switches", ()))
         return cls(**kwargs)
 
 
@@ -200,6 +208,11 @@ class ScenarioResult:
     jobs_disrupted_mean: float = 0.0
     work_lost_gb_mean: float = 0.0
     rerun_time_mean_min: float = 0.0
+    #: Scheme hot-swap telemetry (only meaningful for adaptive policies
+    #: that actually switched at least once; ``adaptive`` says so).
+    adaptive: bool = False
+    switches_mean: float = 0.0
+    schemes_used: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-ready dict form."""
@@ -228,12 +241,21 @@ class ScenarioResult:
                 "work_lost_gb_mean": self.work_lost_gb_mean,
                 "rerun_time_mean_min": self.rerun_time_mean_min,
             })
+        if self.adaptive:
+            payload.update({
+                "adaptive": True,
+                "switches_mean": self.switches_mean,
+                "schemes_used": list(self.schemes_used),
+            })
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ScenarioResult":
         """Inverse of :meth:`to_dict`."""
-        return cls(**payload)
+        kwargs = dict(payload)
+        if "schemes_used" in kwargs:
+            kwargs["schemes_used"] = tuple(kwargs["schemes_used"])
+        return cls(**kwargs)
 
 
 def fold_cells(cells: Iterable[CellResult],
@@ -285,6 +307,21 @@ def fold_cells(cells: Iterable[CellResult],
                     "rerun_time_mean_min": float(np.mean(
                         [s.rerun_time_min for s in summaries])),
                 }
+            switch_kwargs = {}
+            if any(c.switches for c in row):
+                # Visited schemes in first-switch order: every cell starts
+                # on the same primary, so the union keeps a stable order.
+                visited: dict[str, None] = {}
+                for cell in row:
+                    for switch in cell.switches:
+                        visited.setdefault(switch.from_scheme)
+                        visited.setdefault(switch.to_scheme)
+                switch_kwargs = {
+                    "adaptive": True,
+                    "switches_mean": float(np.mean(
+                        [len(c.switches) for c in row])),
+                    "schemes_used": tuple(visited),
+                }
             results.append(ScenarioResult(
                 scheme=scheme,
                 scenario=scenario,
@@ -302,6 +339,7 @@ def fold_cells(cells: Iterable[CellResult],
                 antt_reduction_max=max(antt_reds),
                 n_mixes=len(row),
                 **fault_kwargs,
+                **switch_kwargs,
             ))
     return results
 

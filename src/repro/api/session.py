@@ -108,6 +108,7 @@ def _simulate_cell(suite: SchedulerSuite, task: tuple) -> CellResult:
         mean_utilization_percent=evaluation.mean_utilization_percent,
         jobs=job_records(result, jobs, policy),
         faults=result.fault_summary,
+        switches=result.scheme_switches,
     )
 
 

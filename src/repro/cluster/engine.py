@@ -123,8 +123,13 @@ class _EngineBase:
         # breakdown is always on and the throughput benchmark just reads
         # it.  ``schedule`` stays zero when :meth:`epochs` is consumed
         # directly (the gym env times its external policy itself).
+        # ``oom`` covers the isolated re-run of OOM-killed data plus the
+        # wake publish; ``advance`` covers time advancement *and* the
+        # completion-finalisation/termination checks that close an epoch,
+        # so the keys partition the epoch loop's wall-clock.
         self.phase_seconds: dict[str, float] = {
-            "arrivals": 0.0, "faults": 0.0, "schedule": 0.0, "advance": 0.0}
+            "arrivals": 0.0, "faults": 0.0, "oom": 0.0, "schedule": 0.0,
+            "advance": 0.0}
         # Vector-kernel completion tracking: apps that might have become
         # complete since the last finalisation pass.  Fed by the bus (an
         # executor finishing is the only way an app's remaining work can
@@ -188,20 +193,24 @@ class _EngineBase:
             t1 = time.perf_counter()
             phases["arrivals"] += t1 - t0
             sim.apply_faults(context, now)
-            phases["faults"] += time.perf_counter() - t1
+            t2 = time.perf_counter()
+            phases["faults"] += t2 - t1
             self.rerun_oom_data_in_isolation(context)
             sim.events.publish(SchedulerWake(time=now))
+            phases["oom"] += time.perf_counter() - t2
             yield now
             t0 = time.perf_counter()
             next_now = self._advance_epoch(context, now)
-            phases["advance"] += time.perf_counter() - t0
             if next_now is None:
                 # No executor running, nothing queued, nothing pending:
                 # the remaining applications finished this very epoch.
+                phases["advance"] += time.perf_counter() - t0
                 break
             now = next_now
             self.finalize_completed_apps(now)
-            if not sim.has_pending_jobs() and self._all_finished():
+            done = not sim.has_pending_jobs() and self._all_finished()
+            phases["advance"] += time.perf_counter() - t0
+            if done:
                 break
         return now
 

@@ -42,6 +42,8 @@ __all__ = [
     "NodeJoined",
     "StragglerOnset",
     "StragglerRecovered",
+    "SchemeSwitched",
+    "SchemeSwitch",
     "SchedulerWake",
     "ClusterSample",
     "EventLog",
@@ -70,6 +72,8 @@ class EventKind(str, Enum):
     EXECUTOR_PREEMPTED = "executor_preempted"
     STRAGGLER_ONSET = "straggler_onset"
     STRAGGLER_RECOVERED = "straggler_recovered"
+    # Meta-scheduling: the active inner scheme changed mid-run.
+    SCHEME_SWITCH = "scheme_switch"
     # Transient telemetry (dispatched to subscribers, never retained).
     SCHEDULER_WAKE = "scheduler_wake"
     CLUSTER_SAMPLE = "cluster_sample"
@@ -185,6 +189,50 @@ class StragglerRecovered(Event):
     """A straggling node returned to full speed."""
 
     kind: EventKind = EventKind.STRAGGLER_RECOVERED
+
+
+@dataclass(frozen=True)
+class SchemeSwitched(Event):
+    """The meta-scheduler hot-swapped its active inner scheme.
+
+    Published at the epoch boundary where the switch takes effect, right
+    before the incoming scheme receives its synthetic
+    ``on_cluster_change`` replay — so bus subscribers observe the switch
+    strictly before any decision the new scheme makes.
+    """
+
+    kind: EventKind = EventKind.SCHEME_SWITCH
+    from_scheme: str = ""
+    to_scheme: str = ""
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class SchemeSwitch:
+    """JSON-ready record of one mid-run scheme switch (results telemetry).
+
+    The frozen, hashable mirror of :class:`SchemeSwitched` that results
+    objects carry (``SimulationResult → CellResult → ScenarioResult``),
+    analogous to how :class:`~repro.cluster.faults.FaultSummary` mirrors
+    the fault event stream.
+    """
+
+    time_min: float
+    from_scheme: str
+    to_scheme: str
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        payload: dict = {"time_min": self.time_min,
+                         "from_scheme": self.from_scheme,
+                         "to_scheme": self.to_scheme}
+        if self.reason:
+            payload["reason"] = self.reason
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SchemeSwitch":
+        return cls(**payload)
 
 
 @dataclass(frozen=True)

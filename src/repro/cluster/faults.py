@@ -342,10 +342,15 @@ class FaultSummary:
     work_lost_gb: float = 0.0
     rerun_time_min: float = 0.0
     availability_percent: float = 100.0
+    #: Events that fired but could not apply to the cluster state they
+    #: found (``node_down`` on an already-down node, ``preempt`` with no
+    #: active executor, ...).  Unknown *node ids* are a spec error and
+    #: raise at :class:`FaultController` construction instead.
+    inapplicable_events: int = 0
 
     def to_dict(self) -> dict:
-        """JSON-ready dict form."""
-        return {
+        """JSON-ready dict form (``inapplicable_events`` only when any)."""
+        payload = {
             "node_failures": self.node_failures,
             "node_recoveries": self.node_recoveries,
             "nodes_joined": self.nodes_joined,
@@ -358,6 +363,9 @@ class FaultSummary:
             "rerun_time_min": self.rerun_time_min,
             "availability_percent": self.availability_percent,
         }
+        if self.inapplicable_events:
+            payload["inapplicable_events"] = self.inapplicable_events
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultSummary":
@@ -390,6 +398,10 @@ class FaultStats:
         self.disrupted_jobs: set[str] = set()
         self.work_lost_gb = 0.0
         self.rerun_time_min = 0.0
+        # Fired events the cluster state made no-ops (counted by the
+        # controller, not the bus — an inapplicable event publishes
+        # nothing).
+        self.inapplicable_events = 0
         # Availability integration state.
         self._last_time = 0.0
         self._up_node_min = 0.0
@@ -460,6 +472,7 @@ class FaultStats:
             work_lost_gb=self.work_lost_gb,
             rerun_time_min=self.rerun_time_min,
             availability_percent=availability,
+            inapplicable_events=self.inapplicable_events,
         )
 
 
@@ -477,12 +490,36 @@ class FaultController:
 
     def __init__(self, sim, timeline: list[FaultEvent]) -> None:
         self.sim = sim
+        self._validate_node_ids(sim.cluster, timeline)
         self._queue: list[tuple[float, int, FaultEvent]] = [
             (event.time_min, i, event) for i, event in enumerate(timeline)
         ]
         heapq.heapify(self._queue)
         self._seq = len(timeline)
         self.stats = FaultStats(sim.cluster).attach(sim.events)
+
+    @staticmethod
+    def _validate_node_ids(cluster, timeline: list[FaultEvent]) -> None:
+        """Reject explicit node ids that can never name a cluster node.
+
+        A typo'd ``node_id`` in a fault-spec document used to drop its
+        event silently (``_pick_node`` found no candidate); here it fails
+        fast, before the first epoch.  Ids the timeline's own
+        ``node_join`` events will mint (consecutive, starting at the
+        built size) count as known, so a scripted join-then-fail
+        sequence still validates.
+        """
+        known = {node.node_id for node in cluster.nodes}
+        n_joins = sum(1 for event in timeline if event.action == "node_join")
+        known.update(range(len(cluster.nodes), len(cluster.nodes) + n_joins))
+        unknown = sorted({event.node_id for event in timeline
+                          if event.node_id is not None
+                          and event.node_id not in known})
+        if unknown:
+            raise ValueError(
+                f"fault timeline names unknown node id(s) {unknown}; the "
+                f"built cluster has ids 0..{len(cluster.nodes) - 1}"
+                + (f" plus {n_joins} scheduled join(s)" if n_joins else ""))
 
     # ------------------------------------------------------------------
     # Engine interface
@@ -558,6 +595,7 @@ class FaultController:
     def _apply_node_down(self, context, event: FaultEvent, now: float) -> None:
         node = self._pick_node(event, self.sim.cluster.up_nodes())
         if node is None:
+            self.stats.inapplicable_events += 1
             return
         self.stats.before_membership_change(now)
         self._kill_executors(node, now)
@@ -578,6 +616,7 @@ class FaultController:
                       for i in np.flatnonzero(~up).tolist()]
         node = self._pick_node(event, candidates)
         if node is None:
+            self.stats.inapplicable_events += 1
             return
         self.stats.before_membership_change(now)
         node.mark_up()
@@ -604,6 +643,7 @@ class FaultController:
         victims = [exec_objs[slot] for slot in state.active_slots().tolist()]
         victims.sort(key=lambda e: e.executor_id)
         if not victims:
+            self.stats.inapplicable_events += 1
             return
         index = min(int(event.draw * len(victims)), len(victims) - 1)
         executor = victims[index]
@@ -618,6 +658,7 @@ class FaultController:
                       for i in np.flatnonzero(mask).tolist()]
         node = self._pick_node(event, candidates)
         if node is None:
+            self.stats.inapplicable_events += 1
             return
         node.set_speed(event.speed_factor)
         published = self.sim.events.publish(StragglerOnset(
@@ -636,6 +677,7 @@ class FaultController:
             event, [cluster.nodes[i]
                     for i in np.flatnonzero(rows["speed"] < 1.0).tolist()])
         if node is None or not node.is_up:
+            self.stats.inapplicable_events += 1
             return
         node.set_speed(1.0)
         published = self.sim.events.publish(StragglerRecovered(

@@ -44,6 +44,7 @@ from repro.cluster.events import (
     EventLog,
     ExecutorSpawned,
     JobArrival,
+    SchemeSwitch,
 )
 from repro.cluster.faults import FaultController, FaultSpec, FaultSummary
 from repro.cluster.resource_monitor import (
@@ -137,6 +138,9 @@ class SimulationResult:
     streaming_utilization_percent: float = 0.0
     #: Fault/recovery telemetry; ``None`` for runs without a fault spec.
     fault_summary: FaultSummary | None = None
+    #: Mid-run scheme hot-swaps, in chronological order (meta-scheduler
+    #: runs only; empty for fixed-scheme runs).
+    scheme_switches: tuple[SchemeSwitch, ...] = ()
 
     def finished_apps(self) -> list[SparkApplication]:
         """Applications that completed within the simulation horizon."""
@@ -267,6 +271,17 @@ class SchedulingContext:
     def monitor(self) -> ResourceMonitor:
         """The resource monitor fed by the per-node daemons."""
         return self._sim.monitor
+
+    @property
+    def events(self) -> EventBus:
+        """The simulation's event bus (subscribe/publish access).
+
+        Exposed so context-aware schedulers (the meta-scheduler's
+        :class:`~repro.scheduling.meta.ContextMonitor`) can attach
+        streaming subscribers and publish their own typed events without
+        reaching into the simulator.
+        """
+        return self._sim.events
 
     def apps(self) -> dict[str, SparkApplication]:
         """All submitted applications by name."""
@@ -603,6 +618,12 @@ class ClusterSimulator:
         fault_summary = None
         if self.fault_controller is not None:
             fault_summary = self.fault_controller.finalize(float(makespan))
+        switches = tuple(
+            SchemeSwitch(time_min=event.time,
+                         from_scheme=event.from_scheme,
+                         to_scheme=event.to_scheme,
+                         reason=event.reason)
+            for event in self.events.of_kind(EventKind.SCHEME_SWITCH))
         recorder = self._recorder
         return SimulationResult(
             apps=dict(self.apps),
@@ -613,6 +634,7 @@ class ClusterSimulator:
             unsubmitted_jobs=self.cluster.state.pending_list(),
             streaming_utilization_percent=self._streaming.mean_percent(),
             fault_summary=fault_summary,
+            scheme_switches=switches,
         )
 
     def run(self, jobs: list[Job]) -> SimulationResult:

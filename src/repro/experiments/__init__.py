@@ -26,6 +26,10 @@ values for every experiment.
 | Figure 18      | :mod:`repro.experiments.fig18_curves` |
 | Table 5        | :mod:`repro.experiments.table5_classifiers` |
 | Headline numbers | :mod:`repro.experiments.headline` |
+
+Beyond the paper, :mod:`repro.experiments.fig_meta` evaluates the
+context-aware meta-scheduler extension against its fixed inner schemes
+on the adaptive (multi-regime) scenarios.
 """
 
 from repro.api import ScenarioResult, SchedulerSuite

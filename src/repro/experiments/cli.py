@@ -59,6 +59,7 @@ from repro.experiments import (
     fig16_clusters,
     fig17_accuracy,
     fig18_curves,
+    fig_meta,
     headline,
     table5_classifiers,
 )
@@ -128,6 +129,15 @@ def _run_fig14(session, options):
                                **kwargs)))
 
 
+def _run_fig_meta(session, options):
+    scenarios = (("regime_shift",) if options.quick else fig_meta.SCENARIOS)
+    print(fig_meta.format_table(
+        fig_meta.run(scenarios=scenarios,
+                     n_mixes=1 if options.quick else 3,
+                     engine=options.engine,
+                     workers=options.workers, session=session)))
+
+
 #: Experiment name -> (description, runner taking (session, options)).
 EXPERIMENTS = {
     "fig3": ("Figure 3 — Sort/PageRank memory curves",
@@ -157,6 +167,8 @@ EXPERIMENTS = {
     "fig18": ("Figure 18 — per-benchmark memory curves",
               lambda session, options: print(fig18_curves.format_table(
                   fig18_curves.run(moe=session.suite.moe)))),
+    "fig_meta": ("Meta-scheduler vs fixed schemes on adaptive scenarios",
+                 _run_fig_meta),
     "table5": ("Table 5 — classifier comparison",
                lambda session, options: print(table5_classifiers.format_table(
                    table5_classifiers.run(dataset=session.suite.dataset)))),
@@ -171,7 +183,9 @@ def format_scenario_table(spec, results) -> str:
     scheme is over the drawn mixes.  When the scenario declares dynamic
     cluster events, a second block reports the fault telemetry per
     scheme: cluster availability, jobs disrupted, work lost and the
-    estimated re-run time.
+    estimated re-run time.  When an adaptive scheme hot-swapped its
+    inner policy mid-run, a third block reports the switch telemetry:
+    mean switches per mix and the inner schemes visited.
     """
     lines = [f"scenario {spec.name}: topology={spec.topology} "
              f"arrival={spec.arrival.kind}"
@@ -205,6 +219,15 @@ def format_scenario_table(spec, results) -> str:
                          f"{row.jobs_disrupted_mean:10.1f} "
                          f"{row.work_lost_gb_mean:9.1f} "
                          f"{row.rerun_time_mean_min:11.1f}")
+    if any(row.adaptive for row in results):
+        lines.append("scheme-switch telemetry (adaptive schemes):")
+        lines.append(f"{'scheme':18s} {'switches':>9s}  inner schemes visited")
+        for row in results:
+            if not row.adaptive:
+                continue
+            lines.append(f"{row.scheme:18s} "
+                         f"{row.switches_mean:9.1f}  "
+                         f"{' -> '.join(row.schemes_used)}")
     return "\n".join(lines)
 
 

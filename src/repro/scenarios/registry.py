@@ -131,6 +131,71 @@ SCENARIO_REGISTRY: dict[str, ScenarioSpec] = {
                     "redistributed",
     ),
     # ------------------------------------------------------------------
+    # Adaptive scenarios: distinct operating regimes inside one run, the
+    # showcase for the context-aware meta-scheduler (scheduling/meta.py).
+    # ------------------------------------------------------------------
+    "adaptive_churn": ScenarioSpec(
+        name="adaptive_churn",
+        n_apps=12,
+        arrival=ArrivalSpec(kind="poisson", rate_per_min=0.05),
+        faults=FaultSpec(
+            timeline=(
+                # A calm first hour, then a churn storm (outages plus
+                # stragglers) that abates, then calm again: an adaptive
+                # policy should swap to its robust fallback for the storm
+                # and swap back once the window ages out.
+                FaultEvent(time_min=60.0, action="node_down",
+                           duration_min=90.0, draw=0.1),
+                FaultEvent(time_min=66.0, action="node_down",
+                           duration_min=90.0, draw=0.35),
+                FaultEvent(time_min=72.0, action="straggler_on",
+                           duration_min=60.0, speed_factor=0.35,
+                           draw=0.6),
+                FaultEvent(time_min=80.0, action="node_down",
+                           duration_min=80.0, draw=0.85),
+                FaultEvent(time_min=95.0, action="preempt", draw=0.4),
+            ),
+            horizon_min=720.0),
+        description="Calm hour, 40-minute churn storm (outages, a "
+                    "straggler, a preemption), calm recovery — the "
+                    "meta-scheduler's swap-out/swap-back showcase",
+    ),
+    "regime_shift": ScenarioSpec(
+        name="regime_shift",
+        # Explicit job list: arrivals stamp times in list order, so the
+        # run moves through three workload regimes — a wave of tiny jobs
+        # (pairwise's free-memory grants win: no profiling delay), then a
+        # memory-hungry wave of 30GB/1000GB jobs (predictive footprints
+        # win: greedy grants cause OOM storms), then tiny jobs again.
+        jobs=(
+            # calm regime A: small inputs, interference is negligible
+            ("HB.WordCount", 0.3), ("SP.Kmeans", 0.3), ("BDB.Grep", 0.3),
+            ("HB.Sort", 0.3), ("SP.Pca", 0.3), ("SB.LogRegre", 0.3),
+            ("SP.Pearson", 0.3), ("HB.Bayes", 0.3), ("BDB.Kmeans", 0.3),
+            ("SP.Chi-sq", 0.3), ("SB.SVM", 0.3), ("HB.Scan", 0.3),
+            # stress regime: memory-bound wave, footprints matter
+            ("HB.TeraSort", 1000.0), ("BDB.Sort", 30.0), ("SP.ALS", 1000.0),
+            ("HB.Join", 30.0), ("BDB.PageRank", 1000.0),
+            ("SB.TeraSort", 30.0), ("SP.LDA", 1000.0), ("HB.Kmeans", 30.0),
+            ("BDB.Con.Com", 1000.0), ("SP.Word2Vec", 30.0),
+            ("SB.MatrixFact", 1000.0), ("SP.FPGrowth", 30.0),
+            # calm regime B: back to small inputs
+            ("BDB.WordCount", 0.3), ("SP.Gmm", 0.3), ("HB.Aggregation", 0.3),
+            ("SB.Hive", 0.3), ("SP.Spearman", 0.3), ("SP.Sum.Statis", 0.3),
+            ("HB.PageRank", 0.3), ("BDB.NaiveBayes", 0.3),
+            ("SP.CoreRDD", 0.3), ("SB.RDDRelation", 0.3),
+            ("SP.DecisionTree", 0.3), ("SP.NaiveBayes", 0.3),
+        ),
+        topology="hetero_mixed20",
+        arrival=ArrivalSpec(kind="bursty", rate_per_min=0.4,
+                            on_min=30.0, off_min=45.0),
+        description="Small-job wave, then a memory-hungry 30GB/1000GB "
+                    "wave, then small jobs again on the mixed-memory "
+                    "fleet — no fixed policy wins both regimes: greedy "
+                    "pairwise grants OOM-storm the stress wave, "
+                    "predictive profiling drags on the calm waves",
+    ),
+    # ------------------------------------------------------------------
     # Mega tier: fleet-scale scenarios for the vectorized array kernel
     # (10k+ jobs, 1k+ nodes, diurnal arrivals, churn).  The CI slice is
     # the same shape at a size a CI runner can afford every PR.

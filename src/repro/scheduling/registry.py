@@ -290,6 +290,22 @@ def _build_learned(artefacts, **kwargs) -> Scheduler:
     return build_learned_scheduler(artefacts, **kwargs)
 
 
+@register_scheme("meta", requires="moe")
+def _build_meta(artefacts, **kwargs) -> Scheduler:
+    """Context-aware meta-policy: hot-swaps inner schemes from telemetry.
+
+    Defaults to wrapping ``pairwise`` (primary) and the paper's ``ours``
+    (fallback) — hence ``requires="moe"`` for the default fallback's
+    estimator; pass ``schemes=(...)`` to wrap others (the caller then
+    owns providing whatever artefacts those inners need).  The import is
+    deferred like ``learned``'s: the wrapped set may pull in the
+    environment layer, which imports this module.
+    """
+    from repro.scheduling.meta import build_meta_scheduler
+
+    return build_meta_scheduler(artefacts, **kwargs)
+
+
 @register_scheme("unified_ann", requires="dataset")
 def _build_unified_ann(artefacts, **kwargs) -> Scheduler:
     """Unified neural-network regressor baseline (Figure 9)."""

@@ -202,6 +202,65 @@ class TestSchedulerHook:
         assert scheduler.allocation_policy is before
 
 
+class TestNodeIdValidation:
+    def test_unknown_explicit_node_id_raises_at_start(self):
+        # A typo'd node id used to drop its event silently; now the
+        # controller rejects the timeline before the first epoch.
+        spec = FaultSpec(timeline=(
+            FaultEvent(time_min=1.0, action="node_down", node_id=99),))
+        with pytest.raises(ValueError, match=r"unknown node id\(s\) \[99\]"):
+            run_sim(spec)
+
+    def test_all_actions_validate_their_node_id(self):
+        for action in ("node_down", "node_up", "straggler_on",
+                       "straggler_off"):
+            spec = FaultSpec(timeline=(
+                FaultEvent(time_min=1.0, action=action, node_id=7),))
+            with pytest.raises(ValueError, match="unknown node id"):
+                run_sim(spec, n_nodes=4)
+
+    def test_ids_minted_by_scheduled_joins_are_known(self):
+        # 4 built nodes + 1 scheduled join: id 4 is valid to fail later.
+        spec = FaultSpec(timeline=(
+            FaultEvent(time_min=1.0, action="node_join"),
+            FaultEvent(time_min=2.0, action="node_down", node_id=4,
+                       duration_min=1.0),))
+        result = run_sim(spec)
+        assert result.all_finished()
+        assert result.fault_summary.node_failures == 1
+
+
+class TestInapplicableEvents:
+    def test_node_down_on_downed_node_is_counted(self):
+        # The second node_down targets a node that is already down, so
+        # it applies to nothing — counted, not silently dropped.
+        spec = FaultSpec(timeline=(
+            FaultEvent(time_min=1.0, action="node_down", node_id=0),
+            FaultEvent(time_min=2.0, action="node_down", node_id=0),))
+        result = run_sim(spec)
+        summary = result.fault_summary
+        assert summary.node_failures == 1
+        assert summary.inapplicable_events == 1
+        assert summary.to_dict()["inapplicable_events"] == 1
+
+    def test_preempt_with_no_running_executor_is_counted(self):
+        spec = FaultSpec(timeline=(
+            FaultEvent(time_min=0.0, action="preempt", draw=0.5),))
+        result = run_sim(spec)
+        summary = result.fault_summary
+        assert summary.preemptions == 0
+        assert summary.inapplicable_events >= 1
+
+    def test_clean_run_omits_the_counter_from_json(self):
+        spec = FaultSpec(timeline=(
+            FaultEvent(time_min=1.0, action="node_down", node_id=0,
+                       duration_min=2.0),))
+        summary = run_sim(spec).fault_summary
+        assert summary.inapplicable_events == 0
+        assert "inapplicable_events" not in summary.to_dict()
+        assert FaultSummary.from_dict(summary.to_dict()) == summary
+
+
 class TestSummary:
     def test_summary_round_trips_through_json_dict(self):
         summary = FaultSummary(node_failures=2, node_recoveries=1,

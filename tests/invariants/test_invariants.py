@@ -46,7 +46,17 @@ ENGINE_EQUALITY_SEEDS = frozenset(range(0, 50, 5))
 _BENCHMARK_POOL = ("HB.Sort", "HB.WordCount", "HB.Scan", "BDB.Sort",
                    "HB.PageRank", "HB.Kmeans", "BDB.WordCount")
 _TOPOLOGIES = ("paper40", "smallmem24", "hetero_mixed20")
-_SCHEMES = ("pairwise", "oracle", "online_search")
+_SCHEMES = ("pairwise", "oracle", "online_search", "meta")
+
+#: Extra builder kwargs per scheme.  The registered ``meta`` default
+#: wraps the trained ``ours`` scheme; the invariant draws run without
+#: artefacts, so it wraps prediction-free inners instead, with the
+#: hysteresis tightened enough that the fault-style draws actually
+#: exercise mid-run hot-swaps under the invariant checkers.
+_SCHEME_KWARGS = {
+    "meta": {"schemes": ("pairwise", "oracle"), "window_min": 45.0,
+             "dwell_min": 10.0, "churn_enter": 1},
+}
 
 #: Forward-dated completion markers: recorded with their future
 #: effective time while the run is still at the current epoch.
@@ -109,7 +119,8 @@ def run_draw(spec: ScenarioSpec, scheme: str, engine: str, seed: int):
     """Simulate one draw; returns (result, jobs, policy, checker)."""
     cluster = spec.build_cluster()
     policy = DynamicAllocationPolicy(max_executors=len(cluster))
-    scheduler = build_scheduler(scheme, None, allocation_policy=policy)
+    scheduler = build_scheduler(scheme, None, allocation_policy=policy,
+                                **_SCHEME_KWARGS.get(scheme, {}))
     simulator = ClusterSimulator(cluster, scheduler, seed=seed,
                                  step_mode=engine,
                                  max_time_min=spec.max_time_min,
